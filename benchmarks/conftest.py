@@ -1,0 +1,52 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each expensive experiment runs once per pytest session (session-scoped
+fixtures); the individual benchmark files render and assert the figure or
+table they reproduce.  Parameters live in
+:mod:`repro.bench.experiments`, shared with the ``python -m repro`` CLI.
+
+Scale: set ``REPRO_BENCH_SCALE=full`` for paper-length runs (90 s windows,
+10 M keys — slow); the default ``quick`` scale keeps the same shapes with
+shorter windows and a 1 M keyspace.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.bench.experiments import (
+    bandwidth_experiment,
+    fig4_experiment,
+    fig8_experiment,
+    throughput_sweep_experiment,
+)
+from repro.bench.runner import ExperimentResult
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def fig4_results() -> Dict[str, ExperimentResult]:
+    """Figure 4: Retwis latency CDF on the EC2 topology at 200 tps."""
+    return fig4_experiment(SCALE)
+
+
+@pytest.fixture(scope="session")
+def fig8_results() -> Dict[str, ExperimentResult]:
+    """Figure 8: YCSB+T latency CDF on the EC2 topology at 200 tps."""
+    return fig8_experiment(SCALE)
+
+
+@pytest.fixture(scope="session")
+def throughput_sweep() -> Dict[str, List[ExperimentResult]]:
+    """Figures 5 and 6: Retwis on the uniform 5 ms local cluster."""
+    return throughput_sweep_experiment(SCALE)
+
+
+@pytest.fixture(scope="session")
+def bandwidth_results() -> Dict[str, ExperimentResult]:
+    """Figure 7: bandwidth at 5000 tps on the uniform 5 ms cluster."""
+    return bandwidth_experiment(SCALE)

@@ -1,0 +1,104 @@
+"""Optimization ablation (E12): what each Carousel design choice buys.
+
+The paper evaluates two bundles (Basic, Fast).  This ablation separates
+the levers DESIGN.md calls out: the read-only optimization (§4.4.2) and
+CPC + local-replica reads (§4.2/§4.4.1), measuring Retwis medians on the
+EC2 topology at light load.
+"""
+
+import pytest
+
+from repro.bench.cluster import CarouselCluster, DeploymentSpec
+from repro.bench.report import format_table
+from repro.core.config import BASIC, FAST, CarouselConfig
+from repro.sim.topology import ec2_five_regions
+from repro.workloads.driver import WorkloadDriver
+from repro.workloads.retwis import RetwisWorkload
+
+CONFIGS = {
+    "basic, no read-only opt": CarouselConfig(
+        mode=BASIC, read_only_optimization=False),
+    "basic": CarouselConfig(mode=BASIC),
+    "fast, no read-only opt": CarouselConfig(
+        mode=FAST, read_only_optimization=False),
+    "fast": CarouselConfig(mode=FAST),
+}
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    results = {}
+    for label, config in CONFIGS.items():
+        cluster = CarouselCluster(
+            DeploymentSpec(topology=ec2_five_regions(), seed=12,
+                           clients_per_dc=8), config)
+        workload = RetwisWorkload(n_keys=1_000_000, seed=13)
+        driver = WorkloadDriver(cluster, workload, target_tps=200.0,
+                                duration_ms=8_000.0, warmup_ms=2_000.0,
+                                cooldown_ms=2_000.0)
+        results[label] = driver.run()
+    return results
+
+
+def test_ablation_medians(ablation_results, benchmark):
+    medians = benchmark.pedantic(
+        lambda: {label: stats.latency.median()
+                 for label, stats in ablation_results.items()},
+        rounds=1, iterations=1)
+
+    rows = [[label, f"{median:.0f}",
+             f"{ablation_results[label].abort_rate * 100:.1f}%"]
+            for label, median in medians.items()]
+    print("\nE12: Carousel optimization ablation "
+          "(Retwis, EC2 topology, 200 tps)")
+    print(format_table(["configuration", "median (ms)", "abort rate"],
+                       rows))
+
+    # The read-only optimization lowers the overall median (50% of Retwis
+    # is read-only).
+    assert medians["basic"] < medians["basic, no read-only opt"]
+    assert medians["fast"] < medians["fast, no read-only opt"]
+
+    # CPC + local reads lower the median further.
+    assert medians["fast"] < medians["basic"]
+
+
+def test_ablation_read_only_latency_reduction(ablation_results, benchmark):
+    def timeline_medians():
+        with_opt = ablation_results["basic"].by_type["load_timeline"]
+        without = ablation_results["basic, no read-only opt"] \
+            .by_type["load_timeline"]
+        return with_opt.median(), without.median()
+
+    with_opt, without = benchmark.pedantic(timeline_medians, rounds=1,
+                                           iterations=1)
+    print(f"\nload_timeline median: {with_opt:.0f} ms with read-only "
+          f"optimization, {without:.0f} ms without")
+    # One round trip versus a full commit path: a large reduction.
+    assert with_opt < 0.8 * without
+
+
+def test_ablation_fast_path_share(benchmark):
+    """How often CPC's fast path decides a partition, vs the slow path."""
+    def measure():
+        cluster = CarouselCluster(
+            DeploymentSpec(topology=ec2_five_regions(), seed=14,
+                           clients_per_dc=8),
+            CarouselConfig(mode=FAST))
+        workload = RetwisWorkload(n_keys=1_000_000, seed=15)
+        driver = WorkloadDriver(cluster, workload, target_tps=200.0,
+                                duration_ms=6_000.0, warmup_ms=1_500.0,
+                                cooldown_ms=1_500.0)
+        driver.run()
+        fast = sum(s.coordinator.fast_path_decisions
+                   for s in cluster.servers.values())
+        slow = sum(s.coordinator.slow_path_decisions
+                   for s in cluster.servers.values())
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(measure, rounds=1, iterations=1)
+    total = fast + slow
+    print(f"\nfast-path partition decisions: {fast}/{total} "
+          f"({100 * fast / total:.0f}%)")
+    # The fast path must be doing real work under the EC2 topology.
+    assert fast > 0.2 * total

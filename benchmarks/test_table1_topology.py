@@ -1,0 +1,61 @@
+"""Table 1: round-trip network latencies between datacenters.
+
+In the paper this is a measurement of EC2; here the matrix is the
+simulator's ground truth, so the "reproduction" verifies that the deployed
+network delivers exactly these round-trip times and prints the table.
+"""
+
+from repro.bench.report import format_table
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.topology import FIVE_REGIONS, TABLE_1_RTT_MS, \
+    ec2_five_regions
+
+
+class _Echo(Node):
+    def handle_message(self, msg):
+        if getattr(msg, "want_reply", False):
+            msg.want_reply = False
+            self.send(msg.src, msg)
+        else:
+            self.round_trip_done_at = self.kernel.now
+
+
+def measure_rtt(a: str, b: str) -> float:
+    """Round-trip one message between datacenters ``a`` and ``b``."""
+    from dataclasses import dataclass
+    from repro.sim.message import Message
+
+    @dataclass
+    class _Ping(Message):
+        want_reply: bool = True
+
+    kernel = Kernel(seed=0)
+    network = Network(kernel, ec2_five_regions(), jitter_fraction=0.0)
+    src = _Echo("src", a, kernel, network)
+    dst = _Echo("dst", b, kernel, network)
+    src.send("dst", _Ping())
+    kernel.run()
+    return src.round_trip_done_at
+
+
+def test_table1_rtt_matrix(benchmark):
+    def measure_all():
+        rows = []
+        measured = {}
+        for i, a in enumerate(FIVE_REGIONS):
+            for b in FIVE_REGIONS[i + 1:]:
+                measured[(a, b)] = measure_rtt(a, b)
+        return measured
+
+    measured = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    rows = []
+    for (a, b), rtt in sorted(measured.items()):
+        expected = TABLE_1_RTT_MS[(a, b)] if (a, b) in TABLE_1_RTT_MS \
+            else TABLE_1_RTT_MS[(b, a)]
+        rows.append([a, b, f"{expected:.0f}", f"{rtt:.1f}"])
+        assert rtt == expected, (a, b)
+    print("\nTable 1: roundtrip network latencies between datacenters (ms)")
+    print(format_table(["from", "to", "paper", "measured"], rows))

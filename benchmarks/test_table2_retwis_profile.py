@@ -1,0 +1,59 @@
+"""Table 2: the Retwis transaction profile.
+
+Draws a large sample from the workload generator and verifies the
+empirical mix and get/put shapes against the table.
+"""
+
+from collections import Counter
+
+from repro.bench.report import format_table
+from repro.workloads.retwis import RetwisWorkload
+
+EXPECTED = {
+    # type: (gets, puts, share)
+    "add_user": (1, 3, 0.05),
+    "follow_unfollow": (2, 2, 0.15),
+    "post_tweet": (3, 5, 0.30),
+    "load_timeline": (None, 0, 0.50),  # rand(1, 10) gets
+}
+
+SAMPLES = 40_000
+
+
+def test_table2_retwis_profile(benchmark):
+    workload = RetwisWorkload(n_keys=100_000, seed=2)
+
+    def draw():
+        counts = Counter()
+        shapes = {}
+        timeline_gets = []
+        for __ in range(SAMPLES):
+            spec = workload.next_spec()
+            counts[spec.txn_type] += 1
+            if spec.txn_type == "load_timeline":
+                timeline_gets.append(len(spec.read_keys))
+            else:
+                shapes[spec.txn_type] = (len(spec.read_keys),
+                                         len(spec.write_keys))
+        return counts, shapes, timeline_gets
+
+    counts, shapes, timeline_gets = benchmark.pedantic(
+        draw, rounds=1, iterations=1)
+
+    rows = []
+    for txn_type, (gets, puts, share) in EXPECTED.items():
+        observed_share = counts[txn_type] / SAMPLES
+        assert abs(observed_share - share) < 0.01, txn_type
+        if gets is None:
+            assert min(timeline_gets) >= 1 and max(timeline_gets) <= 10
+            gets_str = "rand(1,10)"
+        else:
+            assert shapes[txn_type] == (gets, puts), txn_type
+            gets_str = str(gets)
+        rows.append([txn_type, gets_str, str(puts),
+                     f"{share * 100:.0f}%",
+                     f"{observed_share * 100:.1f}%"])
+    print("\nTable 2: transaction profile for Retwis")
+    print(format_table(
+        ["transaction type", "# gets", "# puts", "paper %", "measured %"],
+        rows))

@@ -1,0 +1,9 @@
+"""Setup shim enabling legacy editable installs in offline environments.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works without the ``wheel`` package or network access.
+"""
+
+from setuptools import setup
+
+setup()

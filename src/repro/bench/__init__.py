@@ -1,0 +1,22 @@
+"""Benchmark harness: deployments, experiment runners, reports.
+
+* :mod:`repro.bench.cluster` — builds the paper's deployments (5 regions,
+  5 partitions, replication factor 3; or the uniform local cluster).
+* :mod:`repro.bench.runner` — drives a workload against a deployment and
+  collects latency/throughput/abort/bandwidth measurements.
+* :mod:`repro.bench.experiments` — one entry per paper table/figure.
+* :mod:`repro.bench.report` — text rendering of the measured series.
+
+Submodules are imported directly (``from repro.bench.cluster import ...``)
+to keep optional pieces decoupled.
+"""
+
+from repro.bench.cluster import (
+    CarouselCluster,
+    DeploymentSpec,
+    LayeredCluster,
+    TapirCluster,
+)
+
+__all__ = ["CarouselCluster", "TapirCluster", "LayeredCluster",
+           "DeploymentSpec"]

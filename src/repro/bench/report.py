@@ -1,0 +1,89 @@
+"""Text rendering of experiment results, in the shape of the paper's
+tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.sim.stats import LatencyRecorder
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """A plain fixed-width table."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def latency_summary_rows(recorders: Dict[str, LatencyRecorder]
+                         ) -> List[List[str]]:
+    """Rows of (system, count, median, p95, p99) for a latency table."""
+    rows = []
+    for label, recorder in recorders.items():
+        summary = recorder.summary()
+        rows.append([
+            label,
+            f"{int(summary['count'])}",
+            f"{summary['median_ms']:.0f}",
+            f"{summary['p95_ms']:.0f}",
+            f"{summary['p99_ms']:.0f}",
+        ])
+    return rows
+
+
+def render_latency_table(recorders: Dict[str, LatencyRecorder]) -> str:
+    return format_table(
+        ["system", "txns", "median (ms)", "p95 (ms)", "p99 (ms)"],
+        latency_summary_rows(recorders))
+
+
+def render_cdf(recorders: Dict[str, LatencyRecorder],
+               points: int = 12) -> str:
+    """Side-by-side CDF series — the figures' plotted lines as text."""
+    lines = []
+    for label, recorder in recorders.items():
+        series = recorder.cdf(points=points)
+        formatted = " ".join(f"({x:.0f}ms,{y:.2f})" for x, y in series)
+        lines.append(f"{label}: {formatted}")
+    return "\n".join(lines)
+
+
+def render_throughput_sweep(
+        series: Dict[str, List[Tuple[float, float, float]]]) -> str:
+    """``series[label] = [(target, committed, abort_rate), ...]`` rendered
+    as the Figure 5/6 tables."""
+    rows = []
+    for label, points in series.items():
+        for target, committed, abort_rate in points:
+            rows.append([label, f"{target:.0f}", f"{committed:.0f}",
+                         f"{abort_rate * 100:.1f}%"])
+    return format_table(
+        ["system", "target (tps)", "committed (tps)", "abort rate"], rows)
+
+
+def render_bandwidth(rows: Dict[str, Dict[str, float]]) -> str:
+    """``rows[label][role_direction] = Mbps`` rendered as Figure 7."""
+    headers = ["system", "client send", "client recv",
+               "leader send", "leader recv",
+               "follower send", "follower recv"]
+    table_rows = []
+    for label, cells in rows.items():
+        table_rows.append([
+            label,
+            f"{cells.get('client_send', 0):.2f}",
+            f"{cells.get('client_recv', 0):.2f}",
+            f"{cells.get('leader_send', 0):.2f}",
+            f"{cells.get('leader_recv', 0):.2f}",
+            f"{cells.get('follower_send', 0):.2f}",
+            f"{cells.get('follower_recv', 0):.2f}",
+        ])
+    return format_table(headers, table_rows)

@@ -1,0 +1,94 @@
+"""Standardized experiment runner used by every benchmark.
+
+``run_workload`` builds a deployment for one of the three evaluated systems
+("tapir", "carousel-basic", "carousel-fast"), drives a workload at a target
+throughput, and returns the measured statistics — one call per curve point
+in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.bench.cluster import CarouselCluster, DeploymentSpec, TapirCluster
+from repro.core.config import BASIC, FAST, CarouselConfig
+from repro.sim.topology import Topology, ec2_five_regions
+from repro.tapir.config import TapirConfig
+from repro.workloads.driver import WorkloadDriver, WorkloadStats
+from repro.workloads.retwis import RetwisWorkload
+from repro.workloads.ycsbt import YcsbTWorkload
+
+SYSTEMS = ("tapir", "carousel-basic", "carousel-fast")
+
+#: Display names matching the paper's figures.
+SYSTEM_LABELS = {
+    "tapir": "TAPIR",
+    "carousel-basic": "Carousel Basic",
+    "carousel-fast": "Carousel Fast",
+}
+
+
+@dataclass
+class ExperimentResult:
+    """One (system, workload, target-tps) measurement."""
+
+    system: str
+    target_tps: float
+    stats: WorkloadStats
+    cluster: object
+    driver: WorkloadDriver
+
+    @property
+    def label(self) -> str:
+        return SYSTEM_LABELS[self.system]
+
+
+def build_cluster(system: str, spec: DeploymentSpec,
+                  tapir_fast_path_timeout_ms: Optional[float] = None):
+    """Construct a deployment for one of the evaluated systems."""
+    if system == "tapir":
+        config = TapirConfig()
+        if tapir_fast_path_timeout_ms is not None:
+            config = TapirConfig(
+                fast_path_timeout_ms=tapir_fast_path_timeout_ms)
+        return TapirCluster(spec, config)
+    if system == "carousel-basic":
+        return CarouselCluster(spec, CarouselConfig(mode=BASIC))
+    if system == "carousel-fast":
+        return CarouselCluster(spec, CarouselConfig(mode=FAST))
+    raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+
+
+def build_workload(name: str, n_keys: int, seed: int):
+    if name == "retwis":
+        return RetwisWorkload(n_keys=n_keys, seed=seed)
+    if name == "ycsbt":
+        return YcsbTWorkload(n_keys=n_keys, seed=seed)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def run_workload(system: str, workload: str, target_tps: float,
+                 duration_ms: float, warmup_ms: float, cooldown_ms: float,
+                 topology: Optional[Topology] = None,
+                 n_keys: int = 1_000_000, seed: int = 0,
+                 clients_per_dc: int = 8,
+                 server_service_time_ms: float = 0.0,
+                 account_bandwidth: bool = False,
+                 tapir_fast_path_timeout_ms: Optional[float] = None,
+                 closed_loop: bool = False
+                 ) -> ExperimentResult:
+    """Run one experiment point and return its measurements."""
+    spec = DeploymentSpec(
+        topology=topology or ec2_five_regions(),
+        seed=seed, clients_per_dc=clients_per_dc,
+        server_service_time_ms=server_service_time_ms)
+    cluster = build_cluster(system, spec, tapir_fast_path_timeout_ms)
+    generator = build_workload(workload, n_keys=n_keys, seed=seed + 1)
+    driver = WorkloadDriver(cluster, generator, target_tps=target_tps,
+                            duration_ms=duration_ms, warmup_ms=warmup_ms,
+                            cooldown_ms=cooldown_ms,
+                            closed_loop=closed_loop)
+    stats = driver.run(account_bandwidth=account_bandwidth)
+    return ExperimentResult(system=system, target_tps=target_tps,
+                            stats=stats, cluster=cluster, driver=driver)

@@ -1,0 +1,186 @@
+"""Command-line runner: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table2
+    python -m repro trace-basic          # Figure 2
+    python -m repro trace-cpc            # Figure 3 (a and b)
+    python -m repro fig4 [--scale full]
+    python -m repro fig5 [--scale full]  # shares the sweep with fig6
+    python -m repro fig6 [--scale full]
+    python -m repro fig7 [--scale full]
+    python -m repro fig8 [--scale full]
+    python -m repro all  [--scale full]
+
+``--json PATH`` additionally writes the measured series to a JSON file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.bench import experiments
+from repro.bench.report import (
+    format_table,
+    render_bandwidth,
+    render_cdf,
+    render_latency_table,
+    render_throughput_sweep,
+)
+from repro.bench.runner import SYSTEM_LABELS
+from repro.bench.traces import render_trace, trace_transaction
+from repro.core.config import BASIC, FAST
+
+
+def _emit_json(path: Optional[str], payload: dict) -> None:
+    if path is None:
+        return
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    print(f"\n[written {path}]")
+
+
+def cmd_table1(args) -> None:
+    from repro.sim.topology import FIVE_REGIONS, TABLE_1_RTT_MS
+    rows = [[a, b, f"{rtt:.0f}"]
+            for (a, b), rtt in sorted(TABLE_1_RTT_MS.items())]
+    print("Table 1: roundtrip network latencies between datacenters (ms)")
+    print(format_table(["from", "to", "rtt (ms)"], rows))
+    _emit_json(args.json, {f"{a}-{b}": rtt
+                           for (a, b), rtt in TABLE_1_RTT_MS.items()})
+
+
+def cmd_table2(args) -> None:
+    from collections import Counter
+    from repro.workloads.retwis import RetwisWorkload
+    workload = RetwisWorkload(n_keys=100_000, seed=2)
+    counts = Counter(workload.next_spec().txn_type for __ in range(20_000))
+    total = sum(counts.values())
+    rows = [[t, f"{c / total * 100:.1f}%"]
+            for t, c in sorted(counts.items())]
+    print("Table 2: Retwis transaction mix (measured over 20k draws)")
+    print(format_table(["transaction type", "share"], rows))
+    _emit_json(args.json, {t: c / total for t, c in counts.items()})
+
+
+def cmd_trace_basic(args) -> None:
+    trace = trace_transaction(mode=BASIC, seed=42)
+    print(render_trace(trace, "Figure 2: Carousel basic protocol"))
+
+
+def cmd_trace_cpc(args) -> None:
+    trace = trace_transaction(mode=FAST, seed=42)
+    print(render_trace(trace, "Figure 3(a): CPC without conflicts"))
+    print()
+    trace_b = trace_transaction(mode=FAST, seed=42,
+                                conflicting_writer=True)
+    print(render_trace(trace_b, "Figure 3(b): CPC with conflicts"))
+
+
+def _latency_figure(args, name: str, runner: Callable) -> None:
+    results = runner(args.scale)
+    recorders = experiments.latency_recorders(results)
+    print(f"{name} (EC2 topology, 200 tps, scale={args.scale})")
+    print(render_latency_table(recorders))
+    print("\nCDF series:")
+    print(render_cdf(recorders))
+    _emit_json(args.json, {
+        label: recorder.summary()
+        for label, recorder in recorders.items()
+    })
+
+
+def cmd_fig4(args) -> None:
+    _latency_figure(args, "Figure 4: Retwis latency",
+                    experiments.fig4_experiment)
+
+
+def cmd_fig8(args) -> None:
+    _latency_figure(args, "Figure 8: YCSB+T latency",
+                    experiments.fig8_experiment)
+
+
+def _sweep(args) -> Dict:
+    if getattr(args, "_sweep_cache", None) is None:
+        args._sweep_cache = experiments.throughput_sweep_experiment(
+            args.scale)
+    return args._sweep_cache
+
+
+def cmd_fig5(args) -> None:
+    sweep = _sweep(args)
+    series = experiments.sweep_series(sweep)
+    print("Figure 5: committed throughput vs target throughput "
+          f"(Retwis, 5 ms uniform RTT, scale={args.scale})")
+    print(render_throughput_sweep(series))
+    _emit_json(args.json, series)
+
+
+def cmd_fig6(args) -> None:
+    sweep = _sweep(args)
+    series = experiments.sweep_series(sweep)
+    print("Figure 6: abort rate vs target throughput "
+          f"(Retwis, 5 ms uniform RTT, scale={args.scale})")
+    print(render_throughput_sweep(series))
+    _emit_json(args.json, series)
+
+
+def cmd_fig7(args) -> None:
+    results = experiments.bandwidth_experiment(args.scale)
+    rows = {SYSTEM_LABELS[s]: experiments.bandwidth_roles(r)
+            for s, r in results.items()}
+    print("Figure 7: average bandwidth at 5000 tps target "
+          f"(Mbps per node, scale={args.scale})")
+    print(render_bandwidth(rows))
+    _emit_json(args.json, rows)
+
+
+def cmd_all(args) -> None:
+    for command in (cmd_table1, cmd_table2, cmd_trace_basic,
+                    cmd_trace_cpc, cmd_fig4, cmd_fig5, cmd_fig6,
+                    cmd_fig7, cmd_fig8):
+        command(args)
+        print("\n" + "=" * 72 + "\n")
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "trace-basic": cmd_trace_basic,
+    "trace-cpc": cmd_trace_cpc,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "all": cmd_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Carousel paper's tables and figures.")
+    parser.add_argument("experiment", choices=sorted(COMMANDS),
+                        help="which table/figure to regenerate")
+    parser.add_argument("--scale", choices=["quick", "full"],
+                        default="quick",
+                        help="quick (default) or paper-length runs")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write measured series to a JSON file")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    args._sweep_cache = None
+    COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Carousel's transaction protocol: the paper's primary contribution.
+
+The package implements both evaluated variants (§5):
+
+* **Carousel Basic** (§4.1) — prepares run concurrently with the Read and
+  Commit phases; prepare decisions are made by participant leaders and
+  replicated through Raft before reaching the coordinator.
+* **Carousel Fast** (§4.2, §4.4) — adds the Carousel Prepare Consensus
+  (CPC) protocol, a Fast-Paxos-style fast path executed *in parallel* with
+  the slow path, plus reads from local replicas and the read-only
+  transaction optimization.
+
+Entry points:
+
+* :class:`~repro.core.client.CarouselClient` — the client-side library
+  exposing the paper's Figure 1 interface.
+* :class:`~repro.core.server.CarouselServer` — a Carousel data server (CDS)
+  that plays participant leader, participant follower, and transaction
+  coordinator roles.
+* :class:`~repro.core.config.CarouselConfig` — protocol mode and timing.
+"""
+
+from repro.core.config import BASIC, FAST, CarouselConfig
+from repro.core.client import CarouselClient
+from repro.core.server import CarouselServer
+from repro.core.occ import PendingList, PendingTxn
+
+__all__ = [
+    "BASIC",
+    "FAST",
+    "CarouselConfig",
+    "CarouselClient",
+    "CarouselServer",
+    "PendingList",
+    "PendingTxn",
+]

@@ -1,0 +1,160 @@
+"""Reconnaissance transactions: dependent reads under the 2FI model.
+
+2FI transactions cannot perform dependent reads — a read whose key depends
+on a previous read's value (§3.2).  The paper's workaround (after Thomson
+and Abadi) is a **reconnaissance transaction**: first run a read-only 2FI
+transaction to resolve the dependency (e.g. look up a customer id in a
+secondary index keyed by name), then run the real transaction with the
+resolved keys, *revalidating* inside it that the reconnaissance results
+still hold; if they don't, abort and retry both.
+
+:class:`ReconnaissanceRunner` packages that pattern over any client with a
+``submit(spec, on_complete)`` interface (Carousel or TAPIR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.txn import (
+    REASON_CLIENT_ABORT,
+    TransactionSpec,
+    TxnResult,
+)
+
+#: Resolves the reconnaissance reads into the main transaction's key sets:
+#: ``recon_reads -> (read_keys, write_keys)`` or None to give up.
+KeyResolver = Callable[[Dict[str, Any]],
+                       Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]]]
+
+#: The main transaction's write function; receives the reconnaissance
+#: reads and the main reads: ``(recon_reads, reads) -> writes | None``.
+DependentWriteFunction = Callable[[Dict[str, Any], Dict[str, Any]],
+                                  Optional[Dict[str, Any]]]
+
+
+@dataclass
+class ReconnaissanceOutcome:
+    """Final outcome of a reconnaissance-transaction pair."""
+
+    committed: bool
+    attempts: int
+    recon_reads: Dict[str, Any]
+    result: Optional[TxnResult]
+    reason: str = ""
+
+
+class ReconnaissanceRunner:
+    """Runs dependent-read transactions as a recon + revalidating pair.
+
+    Parameters
+    ----------
+    client:
+        Any transactional client exposing ``submit``.
+    kernel:
+        The simulation kernel (for retry backoff timers).
+    max_attempts:
+        How many times to retry the pair when revalidation fails before
+        reporting an abort.
+    retry_backoff_ms:
+        Delay before retrying after a failed revalidation.
+    """
+
+    def __init__(self, client, kernel, max_attempts: int = 3,
+                 retry_backoff_ms: float = 50.0):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.client = client
+        self.kernel = kernel
+        self.max_attempts = max_attempts
+        self.retry_backoff_ms = retry_backoff_ms
+        self.revalidation_failures = 0
+
+    def run(self, recon_keys: Tuple[str, ...],
+            resolve_keys: KeyResolver,
+            compute_writes: DependentWriteFunction,
+            on_complete: Callable[[ReconnaissanceOutcome], None],
+            txn_type: str = "recon_pair") -> None:
+        """Run the reconnaissance pair, retrying on revalidation failure.
+
+        The main transaction automatically re-reads ``recon_keys`` (they
+        are added to its read set) and aborts if any of their values
+        changed since the reconnaissance transaction read them — the
+        paper's "check that the customer's name matches" step.
+        """
+        self._attempt(1, recon_keys, resolve_keys, compute_writes,
+                      on_complete, txn_type)
+
+    # ------------------------------------------------------------------
+    def _attempt(self, attempt: int, recon_keys, resolve_keys,
+                 compute_writes, on_complete, txn_type) -> None:
+        recon_spec = TransactionSpec(
+            read_keys=recon_keys, write_keys=(),
+            txn_type=f"{txn_type}:recon")
+
+        def recon_done(recon_result: TxnResult):
+            if not recon_result.committed:
+                self._retry_or_fail(attempt, recon_keys, resolve_keys,
+                                    compute_writes, on_complete, txn_type,
+                                    recon_result,
+                                    reason=recon_result.reason)
+                return
+            recon_reads = dict(recon_result.reads)
+            resolved = resolve_keys(recon_reads)
+            if resolved is None:
+                on_complete(ReconnaissanceOutcome(
+                    committed=False, attempts=attempt,
+                    recon_reads=recon_reads, result=recon_result,
+                    reason=REASON_CLIENT_ABORT))
+                return
+            read_keys, write_keys = resolved
+            self._run_main(attempt, recon_keys, recon_reads, read_keys,
+                           write_keys, resolve_keys, compute_writes,
+                           on_complete, txn_type)
+
+        self.client.submit(recon_spec, recon_done)
+
+    def _run_main(self, attempt, recon_keys, recon_reads, read_keys,
+                  write_keys, resolve_keys, compute_writes, on_complete,
+                  txn_type) -> None:
+        # Re-read the reconnaissance keys inside the main transaction so
+        # the dependency can be revalidated under OCC.
+        all_reads = tuple(dict.fromkeys(tuple(recon_keys) + read_keys))
+
+        def main_writes(reads: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+            for key in recon_keys:
+                if reads.get(key) != recon_reads.get(key):
+                    self.revalidation_failures += 1
+                    return None  # stale reconnaissance: abort and retry
+            return compute_writes(recon_reads,
+                                  {k: reads[k] for k in read_keys})
+
+        main_spec = TransactionSpec(
+            read_keys=all_reads, write_keys=write_keys,
+            compute_writes=main_writes, txn_type=f"{txn_type}:main")
+
+        def main_done(result: TxnResult):
+            if result.committed:
+                on_complete(ReconnaissanceOutcome(
+                    committed=True, attempts=attempt,
+                    recon_reads=recon_reads, result=result,
+                    reason=result.reason))
+            else:
+                self._retry_or_fail(attempt, recon_keys, resolve_keys,
+                                    compute_writes, on_complete, txn_type,
+                                    result, reason=result.reason)
+
+        self.client.submit(main_spec, main_done)
+
+    def _retry_or_fail(self, attempt, recon_keys, resolve_keys,
+                       compute_writes, on_complete, txn_type, result,
+                       reason) -> None:
+        if attempt >= self.max_attempts:
+            on_complete(ReconnaissanceOutcome(
+                committed=False, attempts=attempt, recon_reads={},
+                result=result, reason=reason))
+            return
+        self.kernel.schedule(
+            self.retry_backoff_ms, self._attempt, attempt + 1, recon_keys,
+            resolve_keys, compute_writes, on_complete, txn_type)

@@ -1,0 +1,149 @@
+"""The Carousel data server (CDS).
+
+A CDS hosts replicas of one or more partitions (each a Raft group member
+plus a :class:`~repro.core.participant.PartitionComponent`) and a
+:class:`~repro.core.coordinator.CoordinatorComponent` for transactions that
+choose one of its led groups as their coordinating consensus group (§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import CarouselConfig
+from repro.core.coordinator import CoordinatorComponent
+from repro.core.messages import (
+    ClientHeartbeat,
+    CommitRequest,
+    CoordPrepareRequest,
+    FastVote,
+    PrepareQuery,
+    PrepareResult,
+    ReadOnlyRequest,
+    ReadPrepareRequest,
+    Writeback,
+    WritebackAck,
+)
+from repro.core.participant import PartitionComponent
+from repro.core.records import (
+    CoordDecisionRecord,
+    CoordSetsRecord,
+    CoordWriteDataRecord,
+)
+from repro.raft.node import RaftHost, RaftMember
+from repro.sim.message import Message
+from repro.store.directory import DirectoryService
+from repro.store.kvstore import VersionedKVStore
+
+#: Messages addressed to a partition replica.
+_PARTITION_MESSAGES = (ReadPrepareRequest, ReadOnlyRequest, Writeback,
+                       PrepareQuery)
+#: Messages addressed to a transaction coordinator.
+_COORDINATOR_MESSAGES = (CoordPrepareRequest, CommitRequest, FastVote,
+                         PrepareResult, ClientHeartbeat, WritebackAck)
+#: Replicated commands owned by the coordinator role.
+_COORDINATOR_RECORDS = (CoordSetsRecord, CoordWriteDataRecord,
+                        CoordDecisionRecord)
+
+
+class CarouselServer(RaftHost):
+    """One Carousel data server."""
+
+    #: Extra CPU per pending-list entry scanned during OCC conflict checks,
+    #: in ms — same accounting as the TAPIR model, for a fair comparison.
+    PENDING_SCAN_COST_MS = 0.001
+
+    def __init__(self, node_id: str, dc: str, kernel, network,
+                 directory: DirectoryService, config: CarouselConfig,
+                 service_time_ms: float = 0.0):
+        super().__init__(node_id, dc, kernel, network,
+                         service_time_ms=service_time_ms)
+        self.directory = directory
+        self.config = config
+        self.partitions: Dict[str, PartitionComponent] = {}
+        self.coordinator = CoordinatorComponent(self)
+
+    def service_time_for(self, msg) -> float:
+        """CPU cost: base plus the modeled pending-list scan (see DESIGN.md)."""
+        if self.service_time_ms > 0 and \
+                isinstance(msg, ReadPrepareRequest):
+            component = self.partitions.get(msg.partition_id)
+            if component is not None:
+                return (self.service_time_ms
+                        + len(component.pending)
+                        * self.PENDING_SCAN_COST_MS)
+        return self.service_time_ms
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def add_partition(self, partition_id: str, member_ids: List[str],
+                      bootstrap_leader: Optional[str] = None,
+                      store: Optional[VersionedKVStore] = None
+                      ) -> PartitionComponent:
+        """Host a replica of ``partition_id`` whose consensus group spans
+        ``member_ids`` (server node ids)."""
+        component = PartitionComponent(self, partition_id, store=store)
+        member = RaftMember(
+            self, partition_id, member_ids,
+            config=self.config.raft,
+            apply_fn=lambda entry, pid=partition_id: self._apply(pid, entry),
+            vote_payload_fn=component.vote_payload,
+            on_leadership=lambda member, payloads, pid=partition_id:
+                self._on_leadership(pid, member, payloads),
+            bootstrap_leader=bootstrap_leader,
+        )
+        component.attach_member(member)
+        self.partitions[partition_id] = component
+        return component
+
+    # ------------------------------------------------------------------
+    # Raft plumbing
+    # ------------------------------------------------------------------
+    def _apply(self, group_id: str, entry) -> None:
+        command = entry.command
+        if isinstance(command, _COORDINATOR_RECORDS):
+            self.coordinator.apply(command, group_id)
+        else:
+            self.partitions[group_id].apply(command)
+
+    def _on_leadership(self, group_id: str, member: RaftMember,
+                       vote_payloads) -> None:
+        self.partitions[group_id].on_leadership(member, vote_payloads)
+        self.coordinator.on_leadership(group_id)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle_app_message(self, msg: Message) -> None:
+        """Route a non-Raft message to the partition or coordinator role."""
+        if isinstance(msg, _PARTITION_MESSAGES):
+            self.dispatch_partition_message(msg)
+        elif isinstance(msg, CoordPrepareRequest):
+            self.coordinator.on_coord_prepare(msg)
+        elif isinstance(msg, CommitRequest):
+            self.coordinator.on_commit_request(msg)
+        elif isinstance(msg, FastVote):
+            self.coordinator.on_fast_vote(msg)
+        elif isinstance(msg, PrepareResult):
+            self.coordinator.on_prepare_result(msg)
+        elif isinstance(msg, ClientHeartbeat):
+            self.coordinator.on_heartbeat(msg)
+        elif isinstance(msg, WritebackAck):
+            self.coordinator.on_writeback_ack(msg)
+        else:  # pragma: no cover - routing bug
+            raise TypeError(f"unexpected message {msg!r}")
+
+    def dispatch_partition_message(self, msg: Message) -> None:
+        """Deliver a partition-addressed message to its component."""
+        component = self.partitions.get(msg.partition_id)
+        if component is None:
+            return  # stale addressing; the sender will retry
+        if isinstance(msg, ReadPrepareRequest):
+            component.on_read_prepare(msg)
+        elif isinstance(msg, ReadOnlyRequest):
+            component.on_read_only(msg)
+        elif isinstance(msg, Writeback):
+            component.on_writeback(msg)
+        elif isinstance(msg, PrepareQuery):
+            component.on_prepare_query(msg)

@@ -1,0 +1,23 @@
+"""A layered baseline: sequential 2PC on top of consensus.
+
+The architecture the paper's introduction argues against (§1, §2.2):
+Spanner/CockroachDB-style systems first fetch the required data, then run
+two-phase commit, with every 2PC state change replicated through the
+partition's consensus group **before the next step begins** — read round,
+then prepare round (replicated), then the coordinator's decision
+(replicated), and only then the reply to the client.
+
+Nothing overlaps, so a multi-partition read-write transaction costs three
+to four sequential wide-area round trips where Carousel needs at most two.
+The ablation benchmark `benchmarks/test_ablation_layered.py` measures the
+difference directly.
+
+The baseline reuses the same substrates as Carousel (the simulator, Raft,
+the versioned store, OCC pending lists), so the comparison isolates the
+protocol structure.
+"""
+
+from repro.layered.client import LayeredClient
+from repro.layered.server import LayeredServer
+
+__all__ = ["LayeredClient", "LayeredServer"]

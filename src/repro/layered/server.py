@@ -1,0 +1,303 @@
+"""The layered baseline's data server.
+
+Each server hosts partition replicas (Raft groups) exactly like a Carousel
+data server, but the transaction flow is strictly sequential: reads are a
+separate round; 2PC prepares start only when the client's commit request
+arrives; every 2PC state change replicates before the protocol advances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.messages import PartitionSets
+from repro.core.occ import ABORT, PREPARED, PendingList, PendingTxn, \
+    freeze_versions
+from repro.layered.messages import (
+    LayeredCommitRecord,
+    LayeredCommitRequest,
+    LayeredDecisionRecord,
+    LayeredPrepare,
+    LayeredPrepareAck,
+    LayeredPrepareRecord,
+    LayeredRead,
+    LayeredReadReply,
+    LayeredReply,
+    LayeredWriteback,
+    LayeredWritebackAck,
+)
+from repro.raft.node import RaftHost, RaftMember
+from repro.store.kvstore import VersionedKVStore
+from repro.txn import REASON_COMMITTED, REASON_CONFLICT, \
+    REASON_STALE_READ, TID
+
+COMMIT = "commit"
+
+
+class _LayeredPartition:
+    """One replica of one partition (storage + 2PC participant role)."""
+
+    def __init__(self, server: "LayeredServer", partition_id: str):
+        self.server = server
+        self.partition_id = partition_id
+        self.store = VersionedKVStore()
+        self.pending = PendingList()
+        self.resolved: Dict[TID, str] = {}
+        self.prepare_decisions: Dict[TID, str] = {}
+        self.member: Optional[RaftMember] = None
+        self._inflight: Set[TID] = set()
+
+    @property
+    def is_leader(self) -> bool:
+        return self.member is not None and self.member.is_leader
+
+    def on_read(self, msg: LayeredRead) -> None:
+        if not self.is_leader:
+            return
+        values = {}
+        for key in msg.keys:
+            record = self.store.read(key)
+            values[key] = (record.value, record.version)
+        self.server.send(msg.src, LayeredReadReply(
+            tid=msg.tid, partition_id=self.partition_id, values=values))
+
+    def on_prepare(self, msg: LayeredPrepare) -> None:
+        if not self.is_leader:
+            return
+        tid = msg.tid
+        if tid in self.resolved:
+            decision = PREPARED if self.resolved[tid] == COMMIT else ABORT
+            self.server.send(msg.src, LayeredPrepareAck(
+                tid=tid, partition_id=self.partition_id,
+                decision=decision))
+            return
+        if tid in self.prepare_decisions:
+            self.server.send(msg.src, LayeredPrepareAck(
+                tid=tid, partition_id=self.partition_id,
+                decision=self.prepare_decisions[tid]))
+            return
+        if tid in self._inflight:
+            return
+        read_versions = dict(msg.read_versions)
+        # OCC validation: reads happened a round earlier, so versions are
+        # checked here (unlike Carousel, whose prepares piggyback on reads).
+        stale = any(self.store.version(k) != v
+                    for k, v in read_versions.items())
+        conflict = self.pending.conflicts(tid, read_versions.keys(),
+                                          msg.write_keys)
+        decision = ABORT if (stale or conflict) else PREPARED
+        if decision == PREPARED:
+            self.pending.add(PendingTxn(
+                tid=tid, read_keys=frozenset(read_versions),
+                write_keys=frozenset(msg.write_keys),
+                read_versions=freeze_versions(read_versions),
+                term=self.member.current_term, coordinator_id=msg.src))
+        record = LayeredPrepareRecord(
+            tid=tid, partition_id=self.partition_id, decision=decision,
+            read_keys=tuple(read_versions), write_keys=msg.write_keys,
+            read_versions=freeze_versions(read_versions))
+        coordinator = msg.src
+        self._inflight.add(tid)
+
+        def replicated(__):
+            self._inflight.discard(tid)
+            self.server.send(coordinator, LayeredPrepareAck(
+                tid=tid, partition_id=self.partition_id,
+                decision=decision))
+
+        if self.member.propose(record, on_committed=replicated) is None:
+            self._inflight.discard(tid)
+
+    def on_writeback(self, msg: LayeredWriteback) -> None:
+        if not self.is_leader:
+            return
+        tid = msg.tid
+        if tid in self.resolved:
+            self.server.send(msg.src, LayeredWritebackAck(
+                tid=tid, partition_id=self.partition_id))
+            return
+        if tid in self._inflight:
+            return
+        record = LayeredCommitRecord(
+            tid=tid, partition_id=self.partition_id,
+            decision=msg.decision, writes=tuple(msg.writes.items()))
+        coordinator = msg.src
+        self._inflight.add(tid)
+
+        def replicated(__):
+            self._inflight.discard(tid)
+            self.server.send(coordinator, LayeredWritebackAck(
+                tid=tid, partition_id=self.partition_id))
+
+        if self.member.propose(record, on_committed=replicated) is None:
+            self._inflight.discard(tid)
+
+    def apply(self, command) -> None:
+        if isinstance(command, LayeredPrepareRecord):
+            self.prepare_decisions[command.tid] = command.decision
+            if command.decision != PREPARED:
+                self.pending.remove(command.tid)
+        elif isinstance(command, LayeredCommitRecord):
+            if command.tid in self.resolved:
+                return
+            self.resolved[command.tid] = command.decision
+            if command.decision == COMMIT:
+                for key, value in command.writes:
+                    self.store.write(key, value,
+                                     self.store.version(key) + 1)
+            self.pending.remove(command.tid)
+        else:  # pragma: no cover - routing bug
+            raise TypeError(f"unexpected layered record {command!r}")
+
+
+@dataclass
+class _CoordState:
+    tid: TID
+    client_id: str = ""
+    group_id: str = ""
+    participants: Dict[str, PartitionSets] = field(default_factory=dict)
+    writes: Dict[str, Any] = field(default_factory=dict)
+    read_versions: Dict[str, int] = field(default_factory=dict)
+    votes: Dict[str, str] = field(default_factory=dict)
+    decision: Optional[str] = None
+    decision_replicated: bool = False
+    replied: bool = False
+    writeback_acks: Set[str] = field(default_factory=set)
+
+
+class LayeredServer(RaftHost):
+    """A data server of the layered baseline."""
+
+    def __init__(self, node_id: str, dc: str, kernel, network, directory,
+                 service_time_ms: float = 0.0, raft_config=None):
+        super().__init__(node_id, dc, kernel, network,
+                         service_time_ms=service_time_ms)
+        self.directory = directory
+        self.raft_config = raft_config
+        self.partitions: Dict[str, _LayeredPartition] = {}
+        self.coord_states: Dict[TID, _CoordState] = {}
+        self.finished: Dict[TID, str] = {}
+
+    def add_partition(self, partition_id: str, member_ids: List[str],
+                      bootstrap_leader: Optional[str] = None
+                      ) -> _LayeredPartition:
+        """Host a replica of ``partition_id`` in the given consensus group."""
+        partition = _LayeredPartition(self, partition_id)
+        member = RaftMember(
+            self, partition_id, member_ids, config=self.raft_config,
+            apply_fn=lambda entry, pid=partition_id:
+                self._apply(pid, entry),
+            on_leadership=lambda member, payloads, pid=partition_id:
+                self.directory.set_leader(pid, self.node_id),
+            bootstrap_leader=bootstrap_leader)
+        partition.member = member
+        self.partitions[partition_id] = partition
+        return partition
+
+    def _apply(self, group_id: str, entry) -> None:
+        command = entry.command
+        if isinstance(command, LayeredDecisionRecord):
+            state = self.coord_states.get(command.tid)
+            if state is not None:
+                state.decision_replicated = True
+            return
+        self.partitions[group_id].apply(command)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle_app_message(self, msg) -> None:
+        """Route layered-protocol messages to the right role."""
+        if isinstance(msg, LayeredRead):
+            self.partitions[msg.partition_id].on_read(msg)
+        elif isinstance(msg, LayeredPrepare):
+            self.partitions[msg.partition_id].on_prepare(msg)
+        elif isinstance(msg, LayeredWriteback):
+            self.partitions[msg.partition_id].on_writeback(msg)
+        elif isinstance(msg, LayeredCommitRequest):
+            self._on_commit_request(msg)
+        elif isinstance(msg, LayeredPrepareAck):
+            self._on_prepare_ack(msg)
+        elif isinstance(msg, LayeredWritebackAck):
+            self._on_writeback_ack(msg)
+        else:  # pragma: no cover - routing bug
+            raise TypeError(f"unexpected layered message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # Coordinator role (2PC driver)
+    # ------------------------------------------------------------------
+    def _on_commit_request(self, msg: LayeredCommitRequest) -> None:
+        if msg.tid in self.finished:
+            decision = self.finished[msg.tid]
+            self.send(msg.src, LayeredReply(
+                tid=msg.tid, committed=decision == COMMIT,
+                reason=REASON_COMMITTED if decision == COMMIT
+                else REASON_CONFLICT))
+            return
+        if msg.tid in self.coord_states:
+            return  # duplicate; 2PC already in progress
+        member = self.members.get(msg.group_id)
+        if member is None or not member.is_leader:
+            return  # stale directory; client retries
+        state = _CoordState(
+            tid=msg.tid, client_id=msg.client_id, group_id=msg.group_id,
+            participants=dict(msg.participants), writes=dict(msg.writes),
+            read_versions=dict(msg.read_versions))
+        self.coord_states[msg.tid] = state
+        # Phase one: sequential 2PC prepare, only now (nothing overlapped).
+        for pid, sets in state.participants.items():
+            versions = tuple(sorted(
+                (k, state.read_versions.get(k, 0))
+                for k in sets.read_keys))
+            leader = self.directory.lookup(pid).leader
+            self.send(leader, LayeredPrepare(
+                tid=msg.tid, partition_id=pid, read_versions=versions,
+                write_keys=sets.write_keys))
+
+    def _on_prepare_ack(self, msg: LayeredPrepareAck) -> None:
+        state = self.coord_states.get(msg.tid)
+        if state is None or state.decision is not None:
+            return
+        state.votes.setdefault(msg.partition_id, msg.decision)
+        if len(state.votes) < len(state.participants):
+            return
+        decision = COMMIT if all(v == PREPARED
+                                 for v in state.votes.values()) else ABORT
+        state.decision = decision
+        member = self.members[state.group_id]
+
+        def decision_replicated(__):
+            # Only after the decision is durable may the client learn it —
+            # the layered architecture's extra sequential round trip.
+            state.replied = True
+            reason = REASON_COMMITTED if decision == COMMIT \
+                else REASON_CONFLICT
+            self.send(state.client_id, LayeredReply(
+                tid=state.tid, committed=decision == COMMIT,
+                reason=reason))
+            self._send_writebacks(state)
+
+        if member.propose(LayeredDecisionRecord(tid=state.tid,
+                                                decision=decision),
+                          on_committed=decision_replicated) is None:
+            pass  # lost leadership; client retry will re-drive
+
+    def _send_writebacks(self, state: _CoordState) -> None:
+        for pid, sets in state.participants.items():
+            writes = {k: state.writes[k] for k in sets.write_keys
+                      if k in state.writes} \
+                if state.decision == COMMIT else {}
+            leader = self.directory.lookup(pid).leader
+            self.send(leader, LayeredWriteback(
+                tid=state.tid, partition_id=pid,
+                decision=state.decision, writes=writes))
+
+    def _on_writeback_ack(self, msg: LayeredWritebackAck) -> None:
+        state = self.coord_states.get(msg.tid)
+        if state is None:
+            return
+        state.writeback_acks.add(msg.partition_id)
+        if state.writeback_acks >= set(state.participants):
+            self.finished[state.tid] = state.decision or ABORT
+            del self.coord_states[state.tid]

@@ -1,0 +1,48 @@
+"""Raft consensus, extended for Carousel.
+
+Carousel extends Raft (§3.3, §4.3) to manage each partition's consensus
+group.  Two extensions from the paper are implemented here rather than in
+the Carousel layer because they change Raft's own messages and election:
+
+* Vote messages piggyback the voter's **pending-transaction list**
+  (§4.3.3 step 1), which a newly elected leader needs to decide which
+  transactions may have been prepared through CPC's fast path.
+* A **leadership-change hook** lets the host (a Carousel data server) run
+  the five-step CPC failure-handling protocol before serving requests.
+
+The implementation is a faithful single-decree-log Raft: leader election
+with randomized timeouts, log replication with consistency checks and
+conflict rollback, and commitment restricted to entries from the leader's
+own term.
+"""
+
+from repro.raft.log import LogEntry, RaftLog
+from repro.raft.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.raft.node import (
+    FOLLOWER,
+    CANDIDATE,
+    LEADER,
+    RaftConfig,
+    RaftHost,
+    RaftMember,
+)
+
+__all__ = [
+    "LogEntry",
+    "RaftLog",
+    "RequestVote",
+    "RequestVoteReply",
+    "AppendEntries",
+    "AppendEntriesReply",
+    "RaftConfig",
+    "RaftMember",
+    "RaftHost",
+    "FOLLOWER",
+    "CANDIDATE",
+    "LEADER",
+]

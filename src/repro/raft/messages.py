@@ -1,0 +1,69 @@
+"""Raft RPC messages.
+
+All messages carry a ``group_id`` so that one physical server can host
+several consensus groups (a Carousel data server may manage more than one
+partition, §3.3).  ``RequestVote`` and ``RequestVoteReply`` carry the
+pending-transaction payloads Carousel's CPC failure handling piggybacks on
+elections (§4.3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.sim.message import Message
+from repro.raft.log import LogEntry
+
+
+@dataclass
+class RequestVote(Message):
+    """Candidate solicits a vote; carries the candidate's pending list."""
+
+    group_id: str = ""
+    term: int = 0
+    candidate_id: str = ""
+    last_log_index: int = 0
+    last_log_term: int = 0
+    #: Carousel extension (§4.3.3 step 1): the candidate's own
+    #: pending-transaction list, so it can be pooled with voters' lists.
+    pending_payload: Any = None
+
+
+@dataclass
+class RequestVoteReply(Message):
+    """Vote response; carries the voter's pending-transaction list."""
+
+    group_id: str = ""
+    term: int = 0
+    voter_id: str = ""
+    granted: bool = False
+    #: Carousel extension: the voter's pending-transaction list.
+    pending_payload: Any = None
+
+
+@dataclass
+class AppendEntries(Message):
+    """Leader replicates entries / sends heartbeats."""
+
+    group_id: str = ""
+    term: int = 0
+    leader_id: str = ""
+    prev_log_index: int = 0
+    prev_log_term: int = 0
+    entries: List[LogEntry] = field(default_factory=list)
+    leader_commit: int = 0
+
+
+@dataclass
+class AppendEntriesReply(Message):
+    """Follower acknowledges or rejects an AppendEntries."""
+
+    group_id: str = ""
+    term: int = 0
+    follower_id: str = ""
+    success: bool = False
+    #: Highest log index known to match the leader (on success).
+    match_index: int = 0
+    #: Hint for fast log repair: follower's last index (on failure).
+    conflict_index: int = 0

@@ -1,0 +1,511 @@
+"""Raft state machine: election, replication, commitment.
+
+A :class:`RaftMember` is one group member's consensus engine.  It is not a
+network node itself; it lives inside a host :class:`~repro.sim.node.Node`
+(a :class:`RaftHost`), which routes Raft messages to it by ``group_id``.
+This mirrors the paper's deployment, where a Carousel data server may manage
+several partitions (§3.3) and therefore participate in several groups.
+
+Carousel-specific extensions (both from §4.3.3):
+
+* ``vote_payload_fn`` — called when casting or soliciting a vote; its return
+  value (the pending-transaction list) rides on the vote messages.
+* ``on_leadership`` — called when this member wins an election, with the
+  pending payloads of every voter in its majority, *before* the member
+  starts accepting proposals; the host runs CPC failure handling there.
+
+Design notes
+------------
+* New entries are pushed to followers immediately on ``propose`` (not on the
+  next heartbeat), so replication costs one round trip — matching the WANRT
+  accounting in the paper's figures.
+* On winning an election a leader appends a no-op entry from its new term,
+  the standard way to force commitment of all earlier entries (this is what
+  "completing replications" in §4.3.3 step 2 relies on).
+* Persistent state (term, vote, log) survives crash/recovery; volatile
+  leadership state does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.raft.log import LogEntry, RaftLog
+from repro.raft.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.sim.message import Message
+from repro.sim.node import Node
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+
+@dataclass(frozen=True)
+class RaftNoop:
+    """No-op command a new leader commits to finalize its predecessors'
+    entries."""
+
+    leader_id: str
+
+
+@dataclass
+class RaftConfig:
+    """Raft timing parameters, in milliseconds.
+
+    Defaults are sized for the paper's WAN topology: election timeouts far
+    above the worst one-way delay (145 ms), heartbeats a few multiples of
+    the widest RTT.
+    """
+
+    election_timeout_min_ms: float = 1500.0
+    election_timeout_max_ms: float = 3000.0
+    heartbeat_interval_ms: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.election_timeout_min_ms <= 0:
+            raise ValueError("election timeout must be positive")
+        if self.election_timeout_max_ms < self.election_timeout_min_ms:
+            raise ValueError("election timeout max < min")
+        if self.heartbeat_interval_ms >= self.election_timeout_min_ms:
+            raise ValueError("heartbeat interval must be below the election "
+                             "timeout")
+
+
+class RaftMember:
+    """One member of a Raft consensus group."""
+
+    def __init__(self, host: "RaftHost", group_id: str,
+                 member_ids: List[str],
+                 config: Optional[RaftConfig] = None,
+                 apply_fn: Optional[Callable[[LogEntry], None]] = None,
+                 vote_payload_fn: Optional[Callable[[], Any]] = None,
+                 on_leadership: Optional[
+                     Callable[["RaftMember", Dict[str, Any]], None]] = None,
+                 bootstrap_leader: Optional[str] = None):
+        if host.node_id not in member_ids:
+            raise ValueError("host must be one of the group members")
+        if len(set(member_ids)) != len(member_ids):
+            raise ValueError("duplicate member ids")
+        self.host = host
+        self.group_id = group_id
+        self.member_ids = list(member_ids)
+        self.config = config or RaftConfig()
+        self.apply_fn = apply_fn
+        self.vote_payload_fn = vote_payload_fn or (lambda: None)
+        self.on_leadership = on_leadership
+        self.bootstrap_leader = bootstrap_leader
+
+        # Persistent state (survives crash/recover).
+        self.current_term = 0
+        self.voted_for: Optional[str] = None
+        self.log = RaftLog()
+
+        # Volatile state.
+        self.state = FOLLOWER
+        self.commit_index = 0
+        self.last_applied = 0
+        self.leader_id: Optional[str] = None
+        self.next_index: Dict[str, int] = {}
+        self.match_index: Dict[str, int] = {}
+        #: Highest log index already shipped to each peer (avoids
+        #: re-sending the whole in-flight window on every propose; lost
+        #: messages are repaired by heartbeats, which always send from
+        #: next_index).
+        self._sent_up_to: Dict[str, int] = {}
+        self._votes: Dict[str, Any] = {}
+        self._election_timer = None
+        self._heartbeat_timer = None
+        self._commit_callbacks: Dict[int, Callable[[LogEntry], None]] = {}
+        self.elections_started = 0
+
+        host.add_member(self)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> str:
+        return self.host.node_id
+
+    @property
+    def is_leader(self) -> bool:
+        return self.state == LEADER
+
+    @property
+    def majority(self) -> int:
+        return len(self.member_ids) // 2 + 1
+
+    def peers(self) -> List[str]:
+        """Group members other than this one."""
+        return [m for m in self.member_ids if m != self.node_id]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin operating.
+
+        If this member is the designated bootstrap leader, it assumes
+        leadership at term 1 immediately (the deployment places one leader
+        per group, §6.1); followers adopt it on the first heartbeat.
+        Otherwise it waits as a follower with an election timer.
+        """
+        if self.bootstrap_leader == self.node_id:
+            self.current_term = 1
+            self.voted_for = self.node_id
+            self._become_leader(vote_payloads={})
+        else:
+            self._reset_election_timer()
+
+    def handle_host_crash(self) -> None:
+        """Drop volatile leadership state; keep persistent state."""
+        self._cancel_timers()
+        self.state = FOLLOWER
+        self.leader_id = None
+        self._votes = {}
+        self._commit_callbacks.clear()
+
+    def handle_host_recover(self) -> None:
+        """Rejoin the group as a follower."""
+        self._reset_election_timer()
+
+    def _cancel_timers(self) -> None:
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+            self._election_timer = None
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+
+    # ------------------------------------------------------------------
+    # Proposals
+    # ------------------------------------------------------------------
+    def propose(self, command: Any,
+                on_committed: Optional[Callable[[LogEntry], None]] = None
+                ) -> Optional[LogEntry]:
+        """Append ``command`` to the replicated log (leader only).
+
+        Returns the appended entry, or ``None`` if this member is not the
+        leader.  ``on_committed`` fires on this member once the entry is
+        committed and applied here; if leadership is lost first the callback
+        is dropped (the entry may still commit under a later leader).
+        """
+        if self.state != LEADER:
+            return None
+        entry = self.log.append_new(self.current_term, command)
+        self.match_index[self.node_id] = entry.index
+        if on_committed is not None:
+            self._commit_callbacks[entry.index] = on_committed
+        if len(self.member_ids) == 1:
+            self._advance_commit()
+        else:
+            for peer in self.peers():
+                self._send_append(peer, only_new=True)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _reset_election_timer(self) -> None:
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+        timeout = self.host.kernel.random.uniform(
+            self.config.election_timeout_min_ms,
+            self.config.election_timeout_max_ms)
+        self._election_timer = self.host.set_timer(
+            timeout, self._on_election_timeout)
+
+    def _on_election_timeout(self) -> None:
+        if self.state == LEADER:
+            return
+        self._start_election()
+
+    def _start_election(self) -> None:
+        self.elections_started += 1
+        self.current_term += 1
+        self.state = CANDIDATE
+        self.voted_for = self.node_id
+        self.leader_id = None
+        self._votes = {self.node_id: self.vote_payload_fn()}
+        self._reset_election_timer()
+        for peer in self.peers():
+            self.host.send(peer, RequestVote(
+                group_id=self.group_id,
+                term=self.current_term,
+                candidate_id=self.node_id,
+                last_log_index=self.log.last_index,
+                last_log_term=self.log.last_term,
+                pending_payload=self.vote_payload_fn(),
+            ))
+        if len(self.member_ids) == 1:
+            self._become_leader(vote_payloads=dict(self._votes))
+
+    def _schedule_heartbeat(self) -> None:
+        self._heartbeat_timer = self.host.set_timer(
+            self.config.heartbeat_interval_ms, self._on_heartbeat)
+
+    def _on_heartbeat(self) -> None:
+        if self.state != LEADER:
+            return
+        for peer in self.peers():
+            self._send_append(peer)
+        self._schedule_heartbeat()
+
+    # ------------------------------------------------------------------
+    # Role changes
+    # ------------------------------------------------------------------
+    def _step_down(self, new_term: int) -> None:
+        if new_term > self.current_term:
+            self.current_term = new_term
+            self.voted_for = None
+        was_leader = self.state == LEADER
+        self.state = FOLLOWER
+        self._votes = {}
+        if was_leader:
+            self._commit_callbacks.clear()
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+        self._reset_election_timer()
+
+    def _become_leader(self, vote_payloads: Dict[str, Any]) -> None:
+        self.state = LEADER
+        self.leader_id = self.node_id
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+            self._election_timer = None
+        for peer in self.peers():
+            self.next_index[peer] = self.log.last_index + 1
+            self.match_index[peer] = 0
+            self._sent_up_to[peer] = 0
+        self.match_index[self.node_id] = self.log.last_index
+        if self.on_leadership is not None:
+            self.on_leadership(self, vote_payloads)
+        # Commit a no-op from the new term so predecessors' entries commit.
+        self.log.append_new(self.current_term, RaftNoop(self.node_id))
+        self.match_index[self.node_id] = self.log.last_index
+        if len(self.member_ids) == 1:
+            self._advance_commit()
+        else:
+            for peer in self.peers():
+                self._send_append(peer)
+            self._schedule_heartbeat()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        """Dispatch one Raft message to its handler."""
+        if isinstance(msg, RequestVote):
+            self._on_request_vote(msg)
+        elif isinstance(msg, RequestVoteReply):
+            self._on_vote_reply(msg)
+        elif isinstance(msg, AppendEntries):
+            self._on_append_entries(msg)
+        elif isinstance(msg, AppendEntriesReply):
+            self._on_append_reply(msg)
+        else:  # pragma: no cover - routing bug
+            raise TypeError(f"unexpected raft message {msg!r}")
+
+    def _on_request_vote(self, msg: RequestVote) -> None:
+        if msg.term > self.current_term:
+            self._step_down(msg.term)
+        granted = False
+        if msg.term == self.current_term and self.state != LEADER:
+            up_to_date = (
+                msg.last_log_term > self.log.last_term
+                or (msg.last_log_term == self.log.last_term
+                    and msg.last_log_index >= self.log.last_index))
+            if (self.voted_for in (None, msg.candidate_id)) and up_to_date:
+                granted = True
+                self.voted_for = msg.candidate_id
+                self._reset_election_timer()
+        self.host.send(msg.candidate_id, RequestVoteReply(
+            group_id=self.group_id,
+            term=self.current_term,
+            voter_id=self.node_id,
+            granted=granted,
+            pending_payload=self.vote_payload_fn() if granted else None,
+        ))
+
+    def _on_vote_reply(self, msg: RequestVoteReply) -> None:
+        if msg.term > self.current_term:
+            self._step_down(msg.term)
+            return
+        if (self.state != CANDIDATE or msg.term != self.current_term
+                or not msg.granted):
+            return
+        self._votes[msg.voter_id] = msg.pending_payload
+        if len(self._votes) >= self.majority:
+            self._become_leader(vote_payloads=dict(self._votes))
+
+    def _on_append_entries(self, msg: AppendEntries) -> None:
+        if msg.term < self.current_term:
+            self.host.send(msg.leader_id, AppendEntriesReply(
+                group_id=self.group_id, term=self.current_term,
+                follower_id=self.node_id, success=False,
+                conflict_index=self.log.last_index + 1))
+            return
+        if msg.term > self.current_term or self.state != FOLLOWER:
+            self._step_down(msg.term)
+        self.current_term = msg.term
+        self.leader_id = msg.leader_id
+        self._reset_election_timer()
+
+        if not self.log.matches(msg.prev_log_index, msg.prev_log_term):
+            conflict = min(self.log.last_index + 1, msg.prev_log_index)
+            self.host.send(msg.leader_id, AppendEntriesReply(
+                group_id=self.group_id, term=self.current_term,
+                follower_id=self.node_id, success=False,
+                conflict_index=max(1, conflict)))
+            return
+
+        self.log.splice(msg.prev_log_index, msg.entries)
+        match = msg.prev_log_index + len(msg.entries)
+        if msg.leader_commit > self.commit_index:
+            self.commit_index = min(msg.leader_commit, self.log.last_index)
+            self._apply_committed()
+        self.host.send(msg.leader_id, AppendEntriesReply(
+            group_id=self.group_id, term=self.current_term,
+            follower_id=self.node_id, success=True, match_index=match))
+
+    def _on_append_reply(self, msg: AppendEntriesReply) -> None:
+        if msg.term > self.current_term:
+            self._step_down(msg.term)
+            return
+        if self.state != LEADER or msg.term != self.current_term:
+            return
+        peer = msg.follower_id
+        if msg.success:
+            if msg.match_index > self.match_index.get(peer, 0):
+                self.match_index[peer] = msg.match_index
+            self.next_index[peer] = self.match_index[peer] + 1
+            self._advance_commit()
+            # Pipeline: if entries exist that were never shipped, push them.
+            if self._sent_up_to.get(peer, 0) < self.log.last_index:
+                self._send_append(peer, only_new=True)
+        else:
+            backed_off = min(self.next_index.get(peer, 1) - 1,
+                             msg.conflict_index)
+            self.next_index[peer] = max(1, backed_off)
+            self._sent_up_to[peer] = 0
+            self._send_append(peer)
+
+    # ------------------------------------------------------------------
+    # Replication helpers
+    # ------------------------------------------------------------------
+    def _send_append(self, peer: str, only_new: bool = False) -> None:
+        """Ship log entries to ``peer``.
+
+        With ``only_new`` (the propose/pipeline path) only entries that were
+        never shipped before are sent, keeping per-propose work O(new
+        entries) instead of O(in-flight window).  Heartbeats and failure
+        recovery send from ``next_index`` and repair any losses.
+        """
+        next_idx = self.next_index.get(peer, self.log.last_index + 1)
+        start = next_idx
+        if only_new:
+            start = max(next_idx, self._sent_up_to.get(peer, 0) + 1)
+        prev_index = start - 1
+        prev_term = self.log.term_at(prev_index)
+        if prev_term is None:
+            # Bookkeeping ran past our log (stale state); resync fully.
+            self.next_index[peer] = self.log.last_index + 1
+            self._sent_up_to[peer] = 0
+            start = self.log.last_index + 1
+            prev_index = self.log.last_index
+            prev_term = self.log.last_term
+        self._sent_up_to[peer] = max(self._sent_up_to.get(peer, 0),
+                                     self.log.last_index)
+        self.host.send(peer, AppendEntries(
+            group_id=self.group_id,
+            term=self.current_term,
+            leader_id=self.node_id,
+            prev_log_index=prev_index,
+            prev_log_term=prev_term,
+            entries=self.log.entries_from(start),
+            leader_commit=self.commit_index,
+        ))
+
+    def _advance_commit(self) -> None:
+        if self.state != LEADER:
+            return
+        matches = sorted(
+            (self.match_index.get(m, 0) for m in self.member_ids),
+            reverse=True)
+        candidate = matches[self.majority - 1]
+        if candidate > self.commit_index and \
+                self.log.term_at(candidate) == self.current_term:
+            self.commit_index = candidate
+            self._apply_committed()
+
+    def _apply_committed(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            entry = self.log.entry_at(self.last_applied)
+            if self.apply_fn is not None and \
+                    not isinstance(entry.command, RaftNoop):
+                self.apply_fn(entry)
+            callback = self._commit_callbacks.pop(self.last_applied, None)
+            if callback is not None:
+                callback(entry)
+
+
+class RaftHost(Node):
+    """A network node hosting one or more Raft group members.
+
+    Raft messages are routed to the member with the matching ``group_id``;
+    everything else goes to :meth:`handle_app_message`, which protocol
+    servers (Carousel data servers) override.
+    """
+
+    RAFT_TYPES = (RequestVote, RequestVoteReply, AppendEntries,
+                  AppendEntriesReply)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.members: Dict[str, RaftMember] = {}
+
+    def add_member(self, member: RaftMember) -> None:
+        """Attach a consensus-group member to this host."""
+        if member.group_id in self.members:
+            raise ValueError(f"already a member of group "
+                             f"{member.group_id!r}")
+        self.members[member.group_id] = member
+
+    def member(self, group_id: str) -> RaftMember:
+        """The member of ``group_id`` hosted here."""
+        return self.members[group_id]
+
+    def start_raft(self) -> None:
+        """Start every hosted Raft member."""
+        for member in self.members.values():
+            member.start()
+
+    def handle_message(self, msg: Message) -> None:
+        if isinstance(msg, self.RAFT_TYPES):
+            member = self.members.get(msg.group_id)
+            if member is not None:
+                member.handle(msg)
+            return
+        self.handle_app_message(msg)
+
+    def handle_app_message(self, msg: Message) -> None:
+        """Handle a non-Raft message. Subclasses override."""
+        raise NotImplementedError
+
+    def on_crash(self) -> None:
+        """Fail-stop: drop volatile Raft state on every member."""
+        for member in self.members.values():
+            member.handle_host_crash()
+
+    def on_recover(self) -> None:
+        """Rejoin every hosted group as a follower."""
+        for member in self.members.values():
+            member.handle_host_recover()

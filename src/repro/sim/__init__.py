@@ -1,0 +1,54 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package replaces the paper's Amazon EC2 / local-cluster testbed with a
+virtual-time simulator.  All latency in the system is derived from a
+wide-area round-trip-time matrix (see :mod:`repro.sim.topology`), so the
+number of sequential wide-area round trips a protocol performs — the quantity
+Carousel's design is about — maps directly onto measured completion time.
+
+The substrate is organized as:
+
+* :mod:`repro.sim.kernel` — the event loop and virtual clock.
+* :mod:`repro.sim.message` — the base message type and wire-size estimation.
+* :mod:`repro.sim.topology` — datacenter topologies, including the paper's
+  Table 1 five-region EC2 matrix.
+* :mod:`repro.sim.network` — message delivery, partitions, bandwidth meters.
+* :mod:`repro.sim.node` — the base class for simulated processes, with a
+  single-server queueing model for CPU saturation experiments.
+* :mod:`repro.sim.stats` — latency recorders, percentiles and CDFs.
+* :mod:`repro.sim.failure` — fail-stop crash/recovery and partition injection.
+
+Everything is deterministic given the kernel's seed.
+"""
+
+from repro.sim.kernel import Event, Kernel
+from repro.sim.message import Message, wire_size
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.stats import LatencyRecorder, SeriesRecorder, percentile
+from repro.sim.topology import (
+    EC2_FIVE_REGIONS,
+    Topology,
+    ec2_five_regions,
+    single_datacenter,
+    uniform_topology,
+)
+from repro.sim.failure import FailureInjector
+
+__all__ = [
+    "Event",
+    "Kernel",
+    "Message",
+    "wire_size",
+    "Network",
+    "Node",
+    "LatencyRecorder",
+    "SeriesRecorder",
+    "percentile",
+    "Topology",
+    "EC2_FIVE_REGIONS",
+    "ec2_five_regions",
+    "uniform_topology",
+    "single_datacenter",
+    "FailureInjector",
+]

@@ -1,0 +1,129 @@
+"""The discrete-event simulation kernel.
+
+The kernel owns the virtual clock and the event heap.  All simulated time in
+this repository is expressed in **milliseconds** as floats, matching the units
+the Carousel paper uses for its latency tables and figures.
+
+Determinism
+-----------
+Two runs of the same simulation with the same seed produce identical event
+orders.  Ties in event time are broken by insertion order (a monotonically
+increasing sequence number), and all randomness must be drawn from
+``kernel.random``, the single seeded :class:`random.Random` instance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)`` so that simultaneous events fire in
+    the order they were scheduled.  Cancelling an event marks it dead; the
+    kernel skips dead events when it pops them.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event's callback from running."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class Kernel:
+    """Event loop with a virtual clock.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the kernel's single random number generator.  Every source
+        of randomness in a simulation (jitter, workload key choice, client
+        think times, randomized election timeouts) must use ``kernel.random``
+        or an RNG derived from it, so that runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._heap: List[Event] = []
+        self._stopped = False
+        self.random = random.Random(seed)
+        self.seed = seed
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` ms from now.
+
+        Negative delays are clamped to zero; an event can never be scheduled
+        in the virtual past.
+        """
+        if delay < 0:
+            delay = 0.0
+        event = Event(self._now + delay, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute virtual time."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def stop(self) -> None:
+        """Make :meth:`run` return after the current event completes."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        Returns the number of events executed.  When ``until`` is given, the
+        clock is advanced to exactly ``until`` on return (even if the heap
+        drained earlier), which makes fixed-duration experiments exact.
+        """
+        executed = 0
+        self._stopped = False
+        while self._heap and not self._stopped:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            executed += 1
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return executed
+
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still scheduled."""
+        return sum(1 for e in self._heap if not e.cancelled)

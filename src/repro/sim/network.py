@@ -1,0 +1,188 @@
+"""Simulated network: message delivery, partitions, bandwidth accounting.
+
+The network connects :class:`~repro.sim.node.Node` instances.  Sending a
+message computes a one-way delay from the topology (RTT/2 between
+datacenters), applies optional deterministic jitter, accounts the message's
+bytes against per-node bandwidth meters, and schedules delivery on the
+kernel.  Crashed destinations and partitioned pairs silently drop messages,
+matching the fail-stop, asynchronous model the paper assumes (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.sim.kernel import Kernel
+from repro.sim.message import Message
+from repro.sim.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.node import Node
+
+
+class BandwidthAccount:
+    """Bytes sent and received by one node inside the measurement window."""
+
+    __slots__ = ("bytes_sent", "bytes_received", "messages_sent",
+                 "messages_received")
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+
+
+class Network:
+    """Delivers messages between registered nodes.
+
+    Parameters
+    ----------
+    kernel:
+        The simulation kernel providing the clock and RNG.
+    topology:
+        Datacenter latency model.
+    jitter_fraction:
+        If nonzero, each one-way delay is multiplied by a factor drawn
+        uniformly from ``[1, 1 + jitter_fraction]`` using the kernel RNG.
+        A small jitter (the default 2%) breaks pathological synchronization
+        between concurrent transactions without materially changing medians.
+    """
+
+    def __init__(self, kernel: Kernel, topology: Topology,
+                 jitter_fraction: float = 0.02):
+        self.kernel = kernel
+        self.topology = topology
+        self.jitter_fraction = jitter_fraction
+        self.nodes: Dict[str, "Node"] = {}
+        self._partitioned: Set[Tuple[str, str]] = set()
+        self._accounts: Dict[str, BandwidthAccount] = {}
+        self._accounting = False
+        self._accounting_start: Optional[float] = None
+        self._accounting_end: Optional[float] = None
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        #: Optional hook called as ``trace(msg, delay_ms)`` for every send;
+        #: used by the protocol-trace benchmarks (Figures 2 and 3).
+        self.trace_hook: Optional[Callable[[Message, float], None]] = None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, node: "Node") -> None:
+        """Attach a node to the network. Node ids must be unique."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        if node.dc not in self.topology:
+            raise ValueError(f"node {node.node_id!r} is in unknown "
+                             f"datacenter {node.dc!r}")
+        self.nodes[node.node_id] = node
+
+    def node(self, node_id: str) -> "Node":
+        """Look up a node by id."""
+        return self.nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Bandwidth accounting
+    # ------------------------------------------------------------------
+    def start_accounting(self) -> None:
+        """Begin counting bytes (e.g. after workload warmup)."""
+        self._accounting = True
+        self._accounting_start = self.kernel.now
+
+    def stop_accounting(self) -> None:
+        """Stop counting bytes (e.g. before workload cooldown)."""
+        self._accounting = False
+        self._accounting_end = self.kernel.now
+
+    @property
+    def accounting_window_ms(self) -> float:
+        """Length of the closed accounting window, in milliseconds."""
+        if self._accounting_start is None:
+            return 0.0
+        end = (self._accounting_end if self._accounting_end is not None
+               else self.kernel.now)
+        return max(0.0, end - self._accounting_start)
+
+    def account(self, node_id: str) -> BandwidthAccount:
+        """The bandwidth account for ``node_id`` (created on demand)."""
+        if node_id not in self._accounts:
+            self._accounts[node_id] = BandwidthAccount()
+        return self._accounts[node_id]
+
+    def bandwidth_mbps(self, node_id: str) -> Tuple[float, float]:
+        """(send, receive) rates in megabits/s over the accounting window."""
+        window_s = self.accounting_window_ms / 1000.0
+        if window_s <= 0:
+            return (0.0, 0.0)
+        acct = self.account(node_id)
+        to_mbps = 8.0 / 1_000_000.0 / window_s
+        return (acct.bytes_sent * to_mbps, acct.bytes_received * to_mbps)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Block messages in both directions between nodes ``a`` and ``b``."""
+        self._partitioned.add((a, b))
+        self._partitioned.add((b, a))
+
+    def heal(self, a: str, b: str) -> None:
+        """Remove a partition between nodes ``a`` and ``b``."""
+        self._partitioned.discard((a, b))
+        self._partitioned.discard((b, a))
+
+    def heal_all(self) -> None:
+        """Remove all partitions."""
+        self._partitioned.clear()
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        """Whether messages from ``a`` to ``b`` are currently blocked."""
+        return (a, b) in self._partitioned
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: "Node", dst_id: str, msg: Message) -> None:
+        """Send ``msg`` from ``src`` to the node named ``dst_id``.
+
+        The message is stamped, accounted, delayed by the topology's one-way
+        latency (with jitter), and delivered unless the sender or receiver
+        has crashed or the pair is partitioned.  Dropped messages are simply
+        lost: the model is asynchronous and protocols must use timeouts.
+        """
+        if dst_id not in self.nodes:
+            raise KeyError(f"unknown destination node {dst_id!r}")
+        dst = self.nodes[dst_id]
+        msg.src = src.node_id
+        msg.dst = dst_id
+        msg.sent_at = self.kernel.now
+
+        # Sizing walks the whole payload, so only pay for it while the
+        # bandwidth experiment's accounting window is open.
+        if self._accounting and not src.crashed:
+            acct = self.account(src.node_id)
+            acct.bytes_sent += msg.size_bytes()
+            acct.messages_sent += 1
+
+        if src.crashed:
+            self.messages_dropped += 1
+            return
+
+        delay = self.topology.one_way(src.dc, dst.dc)
+        if self.jitter_fraction > 0:
+            delay *= 1.0 + self.kernel.random.uniform(0, self.jitter_fraction)
+        if self.trace_hook is not None:
+            self.trace_hook(msg, delay)
+        self.kernel.schedule(delay, self._deliver, msg, dst)
+
+    def _deliver(self, msg: Message, dst: "Node") -> None:
+        if dst.crashed or self.is_partitioned(msg.src, msg.dst):
+            self.messages_dropped += 1
+            return
+        if self._accounting:
+            acct = self.account(dst.node_id)
+            acct.bytes_received += msg.size_bytes()
+            acct.messages_received += 1
+        self.messages_delivered += 1
+        dst.enqueue(msg)

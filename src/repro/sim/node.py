@@ -1,0 +1,128 @@
+"""Base class for simulated processes.
+
+A :class:`Node` is an event-driven state machine attached to a network.  It
+receives messages through :meth:`handle_message`, sends with :meth:`send`,
+and sets timers with :meth:`set_timer`.
+
+CPU model
+---------
+Each node is a single server with a FIFO queue: a message delivered at time
+``t`` begins processing at ``max(t, busy_until)`` and occupies the node for a
+per-message service time.  With ``service_time_ms=0`` (the default, used by
+protocol-correctness tests) messages are handled on delivery.  The throughput
+experiments (Figures 5 and 6) set a nonzero service time on servers so that
+queues grow under load and committed throughput saturates — the mechanism the
+paper identifies for TAPIR's collapse in §6.4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.kernel import Event, Kernel
+from repro.sim.message import Message
+from repro.sim.network import Network
+
+
+class Node:
+    """A simulated process: data server, coordinator group member, or client.
+
+    Subclasses override :meth:`handle_message` (and usually dispatch on the
+    message dataclass type) and may override :meth:`on_crash` /
+    :meth:`on_recover` to reset volatile state.
+    """
+
+    def __init__(self, node_id: str, dc: str, kernel: Kernel,
+                 network: Network, service_time_ms: float = 0.0):
+        self.node_id = node_id
+        self.dc = dc
+        self.kernel = kernel
+        self.network = network
+        self.service_time_ms = service_time_ms
+        self.crashed = False
+        self._busy_until = 0.0
+        self.messages_handled = 0
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst_id: str, msg: Message) -> None:
+        """Send a message to another node (or to self, via the network)."""
+        self.network.send(self, dst_id, msg)
+
+    def service_time_for(self, msg: Message) -> float:
+        """Per-message CPU cost in ms.  Subclasses may make this depend on
+        message type or internal state (e.g. OCC validation scans the
+        pending-transaction list, so its cost grows with backlog)."""
+        return self.service_time_ms
+
+    def enqueue(self, msg: Message) -> None:
+        """Called by the network on delivery; applies the CPU queue model."""
+        if self.crashed:
+            return
+        service = self.service_time_for(msg)
+        if service <= 0:
+            self._process(msg)
+            return
+        start = max(self.kernel.now, self._busy_until)
+        finish = start + service
+        self._busy_until = finish
+        self.kernel.schedule(finish - self.kernel.now, self._process, msg)
+
+    def _process(self, msg: Message) -> None:
+        if self.crashed:
+            return
+        self.messages_handled += 1
+        self.handle_message(msg)
+
+    def handle_message(self, msg: Message) -> None:
+        """Handle a delivered message. Subclasses must override."""
+        raise NotImplementedError
+
+    @property
+    def queue_delay_ms(self) -> float:
+        """Current backlog: how long a new arrival would wait for the CPU."""
+        return max(0.0, self._busy_until - self.kernel.now)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def set_timer(self, delay_ms: float, callback: Callable[..., None],
+                  *args) -> Event:
+        """Run ``callback(*args)`` after ``delay_ms`` unless cancelled.
+
+        Timers are suppressed while the node is crashed.
+        """
+        def fire(*fire_args):
+            if not self.crashed:
+                callback(*fire_args)
+
+        return self.kernel.schedule(delay_ms, fire, *args)
+
+    # ------------------------------------------------------------------
+    # Failure model
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: drop all queued work and stop responding."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self._busy_until = 0.0
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Restart the node; volatile state was reset by :meth:`on_crash`."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.on_recover()
+
+    def on_crash(self) -> None:
+        """Hook for subclasses to clear volatile state. Default: no-op."""
+
+    def on_recover(self) -> None:
+        """Hook for subclasses to restart timers etc. Default: no-op."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.node_id} @{self.dc}>"

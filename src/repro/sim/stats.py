@@ -1,0 +1,174 @@
+"""Measurement utilities: latency recorders, percentiles, CDFs, rates.
+
+The evaluation in the paper reports latency CDFs (Figures 4 and 8),
+committed throughput and abort rates over a measurement window (Figures 5
+and 6), and average bandwidth (Figure 7).  This module provides the
+recorders those experiments use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0..100) by linear interpolation.
+
+    Raises ``ValueError`` on an empty sequence — an experiment that measured
+    nothing is a bug, not a zero.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile out of range: {p}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    # a + (b - a) * frac is exact when a == b, unlike the symmetric form,
+    # which can exceed max() by a rounding ulp.
+    return ordered[low] + (ordered[high] - ordered[low]) * frac
+
+
+class LatencyRecorder:
+    """Collects latency samples, optionally restricted to a time window.
+
+    The paper runs each experiment for 90 seconds and discards the first and
+    last 30 seconds; :meth:`set_window` implements that: samples whose
+    completion time falls outside ``[start, end]`` are ignored.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[float] = []
+        self._window: Optional[Tuple[float, float]] = None
+
+    def set_window(self, start_ms: float, end_ms: float) -> None:
+        """Only record samples completing within ``[start_ms, end_ms]``."""
+        if end_ms < start_ms:
+            raise ValueError("window end before start")
+        self._window = (start_ms, end_ms)
+
+    def record(self, latency_ms: float, at_ms: Optional[float] = None) -> None:
+        """Record one sample; ``at_ms`` is the completion time for windowing."""
+        if latency_ms < 0:
+            raise ValueError("negative latency")
+        if self._window is not None and at_ms is not None:
+            start, end = self._window
+            if not start <= at_ms <= end:
+                return
+        self.samples.append(latency_ms)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        """Events recorded under ``category``."""
+        return len(self.samples)
+
+    def median(self) -> float:
+        """The 50th percentile."""
+        return percentile(self.samples, 50.0)
+
+    def p(self, pct: float) -> float:
+        """The ``pct``-th percentile of recorded samples."""
+        return percentile(self.samples, pct)
+
+    def mean(self) -> float:
+        """Arithmetic mean of recorded samples."""
+        if not self.samples:
+            raise ValueError("mean of empty recorder")
+        return sum(self.samples) / len(self.samples)
+
+    def cdf(self, points: Optional[int] = None) -> List[Tuple[float, float]]:
+        """The empirical CDF as ``(latency_ms, cumulative_fraction)`` pairs.
+
+        With ``points`` given, the CDF is downsampled to about that many
+        evenly spaced points — enough to plot or print a figure's series.
+        """
+        if not self.samples:
+            return []
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        pairs = [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+        if points is None or n <= points:
+            return pairs
+        step = n / points
+        picked = [pairs[min(n - 1, int(i * step))] for i in range(points)]
+        if picked[-1] != pairs[-1]:
+            picked.append(pairs[-1])
+        return picked
+
+    def summary(self) -> Dict[str, float]:
+        """Median/p95/p99/mean/count, for report tables."""
+        return {
+            "count": float(self.count),
+            "median_ms": self.median(),
+            "p95_ms": self.p(95.0),
+            "p99_ms": self.p(99.0),
+            "mean_ms": self.mean(),
+        }
+
+
+class SeriesRecorder:
+    """Counts categorized events inside a time window.
+
+    Used for committed/aborted transaction counts: Figure 5 derives committed
+    throughput and Figure 6 the abort rate from these counters.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self._window: Optional[Tuple[float, float]] = None
+
+    def set_window(self, start_ms: float, end_ms: float) -> None:
+        """Only count events completing within ``[start_ms, end_ms]``."""
+        if end_ms < start_ms:
+            raise ValueError("window end before start")
+        self._window = (start_ms, end_ms)
+
+    @property
+    def window_ms(self) -> float:
+        if self._window is None:
+            return 0.0
+        return self._window[1] - self._window[0]
+
+    def record(self, category: str, at_ms: Optional[float] = None) -> None:
+        """Count one event; ``at_ms`` is the completion time for windowing."""
+        if self._window is not None and at_ms is not None:
+            start, end = self._window
+            if not start <= at_ms <= end:
+                return
+        self.counts[category] = self.counts.get(category, 0) + 1
+
+    def count(self, category: str) -> int:
+        """Events recorded under ``category``."""
+        return self.counts.get(category, 0)
+
+    def total(self, categories: Optional[Iterable[str]] = None) -> int:
+        """Total events across ``categories`` (all when omitted)."""
+        if categories is None:
+            return sum(self.counts.values())
+        return sum(self.counts.get(c, 0) for c in categories)
+
+    def rate_per_second(self, category: str) -> float:
+        """Events per second for ``category`` over the window."""
+        window_s = self.window_ms / 1000.0
+        if window_s <= 0:
+            raise ValueError("rate requested with no measurement window")
+        return self.count(category) / window_s
+
+    def fraction(self, category: str,
+                 of: Optional[Iterable[str]] = None) -> float:
+        """``count(category) / total(of)``; 0 when the denominator is 0."""
+        denom = self.total(of)
+        if denom == 0:
+            return 0.0
+        return self.count(category) / denom

@@ -1,0 +1,130 @@
+"""Datacenter topologies and the paper's Table 1 RTT matrix.
+
+A :class:`Topology` names a set of datacenters and gives the round-trip time
+between every pair.  One-way message latency is ``rtt / 2``.  The module ships
+the exact five-region Amazon EC2 matrix from Table 1 of the paper, the uniform
+matrix used by the paper's local-cluster experiments (5 ms between simulated
+datacenters), and a single-datacenter topology for unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Round-trip network latencies between datacenters in milliseconds,
+#: reproduced from Table 1 of the paper.
+TABLE_1_RTT_MS: Dict[Tuple[str, str], float] = {
+    ("us-west", "us-east"): 73.0,
+    ("us-west", "europe"): 166.0,
+    ("us-west", "asia"): 102.0,
+    ("us-west", "australia"): 161.0,
+    ("us-east", "europe"): 88.0,
+    ("us-east", "asia"): 172.0,
+    ("us-east", "australia"): 205.0,
+    ("europe", "asia"): 235.0,
+    ("europe", "australia"): 290.0,
+    ("asia", "australia"): 115.0,
+}
+
+#: Datacenter order used throughout the benchmarks; matches the paper's
+#: deployment of US West (Oregon), US East (N. Virginia), Europe (Frankfurt),
+#: Asia (Tokyo), and Australia (Sydney).
+FIVE_REGIONS: Tuple[str, ...] = (
+    "us-west", "us-east", "europe", "asia", "australia",
+)
+
+
+class Topology:
+    """A set of datacenters with pairwise round-trip latencies.
+
+    Parameters
+    ----------
+    datacenters:
+        Ordered datacenter names.
+    rtt_ms:
+        Mapping from unordered datacenter pairs to round-trip time in
+        milliseconds.  Only one orientation of each pair needs to be present.
+    intra_dc_rtt_ms:
+        Round-trip time between two nodes in the same datacenter.  The paper
+        treats intra-datacenter messages as effectively free relative to WAN
+        trips; 0.5 ms RTT is a typical same-datacenter figure.
+    """
+
+    def __init__(self, datacenters: Sequence[str],
+                 rtt_ms: Dict[Tuple[str, str], float],
+                 intra_dc_rtt_ms: float = 0.5):
+        self.datacenters: List[str] = list(datacenters)
+        if len(set(self.datacenters)) != len(self.datacenters):
+            raise ValueError("duplicate datacenter names")
+        self.intra_dc_rtt_ms = intra_dc_rtt_ms
+        self._rtt: Dict[Tuple[str, str], float] = {}
+        for (a, b), rtt in rtt_ms.items():
+            if a not in self.datacenters or b not in self.datacenters:
+                raise ValueError(f"unknown datacenter in pair ({a}, {b})")
+            if rtt < 0:
+                raise ValueError("negative RTT")
+            self._rtt[(a, b)] = rtt
+            self._rtt[(b, a)] = rtt
+        for a in self.datacenters:
+            for b in self.datacenters:
+                if a != b and (a, b) not in self._rtt:
+                    raise ValueError(f"missing RTT for pair ({a}, {b})")
+
+    def rtt(self, a: str, b: str) -> float:
+        """Round-trip time between datacenters ``a`` and ``b`` in ms."""
+        if a == b:
+            return self.intra_dc_rtt_ms
+        return self._rtt[(a, b)]
+
+    def one_way(self, a: str, b: str) -> float:
+        """One-way latency between datacenters ``a`` and ``b`` in ms."""
+        return self.rtt(a, b) / 2.0
+
+    def nearest(self, origin: str, candidates: Sequence[str]) -> str:
+        """The candidate datacenter with the lowest RTT from ``origin``.
+
+        ``origin`` itself wins if present.  Ties break in candidate order so
+        the choice is deterministic.
+        """
+        if not candidates:
+            raise ValueError("no candidate datacenters")
+        return min(candidates, key=lambda dc: (self.rtt(origin, dc),
+                                               candidates.index(dc)))
+
+    def __contains__(self, dc: str) -> bool:
+        return dc in self.datacenters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology({self.datacenters!r})"
+
+
+def ec2_five_regions(intra_dc_rtt_ms: float = 0.5) -> Topology:
+    """The paper's five-region EC2 topology (Table 1)."""
+    return Topology(FIVE_REGIONS, TABLE_1_RTT_MS,
+                    intra_dc_rtt_ms=intra_dc_rtt_ms)
+
+
+def uniform_topology(n_datacenters: int, rtt_ms: float,
+                     intra_dc_rtt_ms: float = 0.5) -> Topology:
+    """A topology where every datacenter pair has the same RTT.
+
+    The paper's local-cluster experiments (§6.4) use TC/netem to impose a
+    uniform 5 ms latency between five simulated datacenters; this constructor
+    reproduces that setup.
+    """
+    names = [f"dc{i}" for i in range(n_datacenters)]
+    rtts = {}
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            rtts[(a, b)] = rtt_ms
+    return Topology(names, rtts, intra_dc_rtt_ms=intra_dc_rtt_ms)
+
+
+def single_datacenter(name: str = "dc0",
+                      intra_dc_rtt_ms: float = 0.5) -> Topology:
+    """A one-datacenter topology, useful for protocol unit tests."""
+    return Topology([name], {}, intra_dc_rtt_ms=intra_dc_rtt_ms)
+
+
+#: A module-level instance of the paper's Table 1 topology for convenience.
+EC2_FIVE_REGIONS = ec2_five_regions()

@@ -1,0 +1,22 @@
+"""Storage substrate: versioned key-value store, partitioning, directory.
+
+Carousel provides a key-value store interface with transactional access
+(§3.3).  Each record carries a version number that monotonically increases
+with transactional writes; the OCC layer uses these versions to detect
+conflicts.  Keys map to partitions with consistent hashing, and a directory
+service (the paper points at Chubby/ZooKeeper) tracks where each partition's
+replicas live.
+"""
+
+from repro.store.kvstore import Record, VersionedKVStore
+from repro.store.partitioning import ConsistentHashRing, Partitioner
+from repro.store.directory import DirectoryService, PartitionInfo
+
+__all__ = [
+    "Record",
+    "VersionedKVStore",
+    "ConsistentHashRing",
+    "Partitioner",
+    "DirectoryService",
+    "PartitionInfo",
+]

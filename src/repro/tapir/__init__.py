@@ -1,0 +1,23 @@
+"""TAPIR baseline: transactions over inconsistent replication.
+
+TAPIR [Zhang et al., SOSP'15] is the state-of-the-art comparator in the
+Carousel paper's evaluation (§6).  This package implements the behaviours
+the paper's analysis depends on:
+
+* clients act as transaction coordinators (not fault tolerant);
+* reads go to the closest replica holding the key;
+* prepare is an IR consensus operation sent to **all** replicas, with a
+  fast path requiring a matching fast quorum (⌈3f/2⌉+1) and a slow path
+  (extra round trips) otherwise;
+* the client waits for a **fast-path timeout** before falling back to the
+  slow path — a source of tail latency (§6.3);
+* a client may not issue a transaction that conflicts with its own
+  previous transaction until that transaction is fully committed at the
+  servers (§6.3).
+"""
+
+from repro.tapir.config import TapirConfig
+from repro.tapir.client import TapirClient
+from repro.tapir.replica import TapirReplica
+
+__all__ = ["TapirConfig", "TapirClient", "TapirReplica"]

@@ -1,0 +1,402 @@
+"""The TAPIR client: transaction coordinator on the application server.
+
+The client reads from the closest replica of each partition, buffers
+writes, then runs IR consensus on the prepare: one round trip to all
+replicas on the fast path (matching fast quorum of ⌈3f/2⌉+1), or — after a
+fast-path **timeout** — a finalize round installing the majority result
+(the slow path).  The outcome is reported to the application as soon as
+every partition's prepare is decided; commit messages then propagate
+asynchronously, but a subsequent transaction from the same client that
+touches overlapping keys is held until those commits are acknowledged
+(§6.3's "fully committed on TAPIR servers" rule).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.sim.message import Message
+from repro.sim.node import Node
+from repro.store.directory import DirectoryService
+from repro.store.partitioning import Partitioner
+from repro.tapir.config import TapirConfig
+from repro.tapir.messages import (
+    PREPARE_ABORT,
+    PREPARE_ABSTAIN,
+    PREPARE_OK,
+    TapirCommit,
+    TapirCommitAck,
+    TapirFinalize,
+    TapirFinalizeAck,
+    TapirPrepare,
+    TapirPrepareReply,
+    TapirRead,
+    TapirReadReply,
+)
+from repro.txn import (
+    REASON_CLIENT_ABORT,
+    REASON_COMMITTED,
+    REASON_CONFLICT,
+    REASON_STALE_READ,
+    TID,
+    TransactionSpec,
+    TxnResult,
+)
+
+PHASE_READ = "read"
+PHASE_PREPARE = "prepare"
+PHASE_DONE = "done"
+
+CompletionCallback = Callable[[TxnResult], None]
+
+
+def fast_quorum(group_size: int) -> int:
+    """IR's fast quorum: ⌈3f/2⌉+1 of 2f+1 replicas."""
+    f = (group_size - 1) // 2
+    return math.ceil(1.5 * f) + 1
+
+
+def slow_quorum(group_size: int) -> int:
+    """IR's classic quorum: f+1."""
+    return (group_size - 1) // 2 + 1
+
+
+@dataclass
+class _Partition:
+    """Per-partition prepare bookkeeping."""
+
+    pid: str
+    replicas: List[str]
+    read_keys: Tuple[str, ...] = ()
+    write_keys: Tuple[str, ...] = ()
+    votes: Dict[str, str] = field(default_factory=dict)
+    decided: Optional[str] = None
+    via_fast_path: bool = False
+    finalize_acks: Set[str] = field(default_factory=set)
+    finalizing: bool = False
+
+
+@dataclass
+class _TapirTxn:
+    tid: TID
+    spec: TransactionSpec
+    on_complete: Optional[CompletionCallback]
+    started_ms: float
+    phase: str = PHASE_READ
+    partitions: Dict[str, _Partition] = field(default_factory=dict)
+    awaiting_reads: Set[str] = field(default_factory=set)
+    values: Dict[str, Any] = field(default_factory=dict)
+    versions: Dict[str, int] = field(default_factory=dict)
+    writes: Dict[str, Any] = field(default_factory=dict)
+    fast_timer: Any = None
+    retry_timer: Any = None
+    committed: Optional[bool] = None
+    abort_reason: str = ""
+
+
+class TapirClient(Node):
+    """An application server running the TAPIR client library."""
+
+    def __init__(self, node_id: str, dc: str, kernel, network,
+                 directory: DirectoryService, partitioner: Partitioner,
+                 config: TapirConfig,
+                 result_hook: Optional[CompletionCallback] = None):
+        super().__init__(node_id, dc, kernel, network)
+        self.directory = directory
+        self.partitioner = partitioner
+        self.config = config
+        self.result_hook = result_hook
+        self._counter = 0
+        self._active: Dict[TID, _TapirTxn] = {}
+        #: Keys of our own committed-but-unacknowledged transactions.
+        self._locked_keys: Dict[str, int] = {}
+        self._commit_acks_pending: Dict[TID, Set[Tuple[str, str]]] = {}
+        self._locked_writes: Dict[TID, Tuple[str, ...]] = {}
+        self._queued: List[Tuple[TransactionSpec,
+                                 Optional[CompletionCallback]]] = []
+        self.submitted = 0
+        self.committed = 0
+        self.aborted = 0
+        self.slow_paths = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, spec: TransactionSpec,
+               on_complete: Optional[CompletionCallback] = None
+               ) -> Optional[TID]:
+        """Run one transaction; returns its TID, or ``None`` if it was
+        queued behind a conflicting uncommitted predecessor (§6.3)."""
+        if self._blocked_by_own(spec):
+            self._queued.append((spec, on_complete))
+            return None
+        return self._start(spec, on_complete)
+
+    def _blocked_by_own(self, spec: TransactionSpec) -> bool:
+        keys = spec.all_keys()
+        if any(key in self._locked_keys for key in keys):
+            return True
+        # Also hold behind our own in-flight transactions: a client may not
+        # run two of its own conflicting transactions concurrently.
+        wanted = set(keys)
+        return any(wanted & set(txn.spec.all_keys())
+                   for txn in self._active.values())
+
+    def _start(self, spec: TransactionSpec,
+               on_complete: Optional[CompletionCallback]) -> TID:
+        self._counter += 1
+        tid = TID(self.node_id, self._counter)
+        txn = _TapirTxn(tid=tid, spec=spec, on_complete=on_complete,
+                        started_ms=self.kernel.now)
+        self._active[tid] = txn
+        self.submitted += 1
+        read_groups = self.partitioner.group_by_partition(spec.read_keys)
+        write_groups = self.partitioner.group_by_partition(spec.write_keys)
+        for pid in sorted(set(read_groups) | set(write_groups)):
+            info = self.directory.lookup(pid)
+            txn.partitions[pid] = _Partition(
+                pid=pid, replicas=list(info.replicas),
+                read_keys=tuple(read_groups.get(pid, ())),
+                write_keys=tuple(write_groups.get(pid, ())))
+        if not txn.partitions:
+            self._complete(txn, True, REASON_COMMITTED)
+            return tid
+        txn.awaiting_reads = {pid for pid, p in txn.partitions.items()
+                              if p.read_keys}
+        if txn.awaiting_reads:
+            self._send_reads(txn)
+        else:
+            self._enter_prepare(txn)
+        self._arm_retry(txn)
+        return tid
+
+    # ------------------------------------------------------------------
+    # Read phase: closest replica per partition
+    # ------------------------------------------------------------------
+    def _closest_replica(self, pid: str) -> str:
+        info = self.directory.lookup(pid)
+        best = min(range(len(info.replicas)),
+                   key=lambda i: self.network.topology.rtt(
+                       self.dc, info.datacenters[i]))
+        return info.replicas[best]
+
+    def _send_reads(self, txn: _TapirTxn) -> None:
+        for pid in txn.awaiting_reads:
+            part = txn.partitions[pid]
+            self.send(self._closest_replica(pid), TapirRead(
+                tid=txn.tid, partition_id=pid, keys=part.read_keys))
+
+    def _on_read_reply(self, msg: TapirReadReply) -> None:
+        txn = self._active.get(msg.tid)
+        if txn is None or txn.phase != PHASE_READ:
+            return
+        if msg.partition_id not in txn.awaiting_reads:
+            return
+        txn.awaiting_reads.discard(msg.partition_id)
+        for key, (value, version) in msg.values.items():
+            txn.values[key] = value
+            txn.versions[key] = version
+        if not txn.awaiting_reads:
+            self._enter_prepare(txn)
+
+    # ------------------------------------------------------------------
+    # Prepare phase: IR consensus
+    # ------------------------------------------------------------------
+    def _enter_prepare(self, txn: _TapirTxn) -> None:
+        reads = {k: txn.values.get(k) for k in txn.spec.read_keys}
+        writes = txn.spec.run_write_function(reads)
+        if writes is None:
+            self._complete(txn, False, REASON_CLIENT_ABORT)
+            return
+        txn.writes = writes
+        txn.phase = PHASE_PREPARE
+        self._send_prepares(txn)
+        txn.fast_timer = self.set_timer(
+            self.config.fast_path_timeout_ms, self._fast_path_timeout, txn)
+
+    def _send_prepares(self, txn: _TapirTxn) -> None:
+        for part in txn.partitions.values():
+            if part.decided is not None:
+                continue
+            versions = tuple(sorted(
+                (k, txn.versions.get(k, 0)) for k in part.read_keys))
+            for replica in part.replicas:
+                self.send(replica, TapirPrepare(
+                    tid=txn.tid, partition_id=part.pid,
+                    read_versions=versions, write_keys=part.write_keys))
+
+    def _on_prepare_reply(self, msg: TapirPrepareReply) -> None:
+        txn = self._active.get(msg.tid)
+        if txn is None or txn.phase != PHASE_PREPARE:
+            return
+        part = txn.partitions.get(msg.partition_id)
+        if part is None or part.decided is not None or part.finalizing:
+            return
+        part.votes[msg.replica_id] = msg.result
+        needed = fast_quorum(len(part.replicas))
+        counts: Dict[str, int] = {}
+        for result in part.votes.values():
+            counts[result] = counts.get(result, 0) + 1
+        for result, count in counts.items():
+            if count >= needed:
+                part.decided = result
+                part.via_fast_path = True
+                self._maybe_finish_prepare(txn)
+                return
+
+    def _fast_path_timeout(self, txn: _TapirTxn) -> None:
+        """The fast path did not decide in time; run IR's slow path for
+        every undecided partition."""
+        if txn.phase != PHASE_PREPARE:
+            return
+        for part in txn.partitions.values():
+            if part.decided is not None or part.finalizing:
+                continue
+            quorum = slow_quorum(len(part.replicas))
+            if len(part.votes) < quorum:
+                # Not enough votes even for the slow path (failures):
+                # rearm and let retransmission gather more votes.
+                txn.fast_timer = self.set_timer(
+                    self.config.fast_path_timeout_ms,
+                    self._fast_path_timeout, txn)
+                return
+            ok_votes = sum(1 for r in part.votes.values()
+                           if r == PREPARE_OK)
+            result = PREPARE_OK if ok_votes >= quorum else PREPARE_ABORT
+            part.finalizing = True
+            self.slow_paths += 1
+            for replica in part.replicas:
+                self.send(replica, TapirFinalize(
+                    tid=txn.tid, partition_id=part.pid, result=result))
+            part.decided = result  # provisional until f+1 acks
+            part.finalize_acks = set()
+
+    def _on_finalize_ack(self, msg: TapirFinalizeAck) -> None:
+        txn = self._active.get(msg.tid)
+        if txn is None or txn.phase != PHASE_PREPARE:
+            return
+        part = txn.partitions.get(msg.partition_id)
+        if part is None or not part.finalizing:
+            return
+        part.finalize_acks.add(msg.replica_id)
+        if len(part.finalize_acks) >= slow_quorum(len(part.replicas)):
+            part.finalizing = False
+            self._maybe_finish_prepare(txn)
+
+    def _maybe_finish_prepare(self, txn: _TapirTxn) -> None:
+        if any(p.decided is None or p.finalizing
+               for p in txn.partitions.values()):
+            return
+        commit = all(p.decided == PREPARE_OK
+                     for p in txn.partitions.values())
+        results = {p.decided for p in txn.partitions.values()}
+        reason = REASON_COMMITTED if commit else (
+            REASON_STALE_READ if PREPARE_ABORT in results
+            else REASON_CONFLICT)
+        self._send_commits(txn, commit)
+        self._complete(txn, commit, reason)
+
+    # ------------------------------------------------------------------
+    # Commit phase (asynchronous; locks the keys until acknowledged)
+    # ------------------------------------------------------------------
+    def _send_commits(self, txn: _TapirTxn, commit: bool) -> None:
+        pending: Set[Tuple[str, str]] = set()
+        for part in txn.partitions.values():
+            writes = {k: txn.writes[k] for k in part.write_keys
+                      if k in txn.writes} if commit else {}
+            for replica in part.replicas:
+                pending.add((part.pid, replica))
+                self.send(replica, TapirCommit(
+                    tid=txn.tid, partition_id=part.pid,
+                    commit=commit, writes=writes))
+        if commit and pending:
+            keys = txn.spec.all_keys()
+            self._commit_acks_pending[txn.tid] = pending
+            self._locked_writes[txn.tid] = keys
+            for key in keys:
+                self._locked_keys[key] = self._locked_keys.get(key, 0) + 1
+
+    def _on_commit_ack(self, msg: TapirCommitAck) -> None:
+        pending = self._commit_acks_pending.get(msg.tid)
+        if pending is None:
+            return
+        pending.discard((msg.partition_id, msg.replica_id))
+        if not pending:
+            del self._commit_acks_pending[msg.tid]
+            self._release_locks(msg.tid)
+
+    def _release_locks(self, tid: TID) -> None:
+        for key in self._locked_writes.pop(tid, ()):
+            count = self._locked_keys.get(key, 0) - 1
+            if count <= 0:
+                self._locked_keys.pop(key, None)
+            else:
+                self._locked_keys[key] = count
+        self._drain_queue()
+
+    def _drain_queue(self) -> None:
+        still_queued = []
+        for spec, on_complete in self._queued:
+            if self._blocked_by_own(spec):
+                still_queued.append((spec, on_complete))
+            else:
+                self._start(spec, on_complete)
+        self._queued = still_queued
+
+    # ------------------------------------------------------------------
+    # Completion and timers
+    # ------------------------------------------------------------------
+    def _complete(self, txn: _TapirTxn, committed: bool,
+                  reason: str) -> None:
+        if txn.phase == PHASE_DONE:
+            return
+        txn.phase = PHASE_DONE
+        for name in ("fast_timer", "retry_timer"):
+            timer = getattr(txn, name)
+            if timer is not None:
+                timer.cancel()
+                setattr(txn, name, None)
+        self._active.pop(txn.tid, None)
+        if committed:
+            self.committed += 1
+        else:
+            self.aborted += 1
+        result = TxnResult(
+            tid=txn.tid, committed=committed,
+            latency_ms=self.kernel.now - txn.started_ms,
+            reason=reason, txn_type=txn.spec.txn_type,
+            reads=dict(txn.values))
+        if txn.on_complete is not None:
+            txn.on_complete(result)
+        if self.result_hook is not None:
+            self.result_hook(result)
+        self._drain_queue()
+
+    def _arm_retry(self, txn: _TapirTxn) -> None:
+        txn.retry_timer = self.set_timer(self.config.retry_ms,
+                                         self._retry, txn)
+
+    def _retry(self, txn: _TapirTxn) -> None:
+        if txn.phase == PHASE_READ:
+            self._send_reads(txn)
+        elif txn.phase == PHASE_PREPARE:
+            self._send_prepares(txn)
+        if txn.phase != PHASE_DONE:
+            self._arm_retry(txn)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, msg: Message) -> None:
+        if isinstance(msg, TapirReadReply):
+            self._on_read_reply(msg)
+        elif isinstance(msg, TapirPrepareReply):
+            self._on_prepare_reply(msg)
+        elif isinstance(msg, TapirFinalizeAck):
+            self._on_finalize_ack(msg)
+        elif isinstance(msg, TapirCommitAck):
+            self._on_commit_ack(msg)
+        else:  # pragma: no cover - routing bug
+            raise TypeError(f"unexpected TAPIR client message {msg!r}")

@@ -1,0 +1,30 @@
+"""TAPIR tuning parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TapirConfig:
+    """Client/replica behaviour knobs.
+
+    Parameters
+    ----------
+    fast_path_timeout_ms:
+        How long the client waits for a unanimous fast quorum before
+        starting IR's slow path.  The Carousel paper singles this wait out
+        as a cause of TAPIR's long tail (§6.3).  Sized for the EC2
+        topology by default; the local-cluster experiments lower it.
+    retry_ms:
+        Client retransmission timeout for lost messages.
+    """
+
+    fast_path_timeout_ms: float = 250.0
+    retry_ms: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.fast_path_timeout_ms <= 0:
+            raise ValueError("fast_path_timeout_ms must be positive")
+        if self.retry_ms <= 0:
+            raise ValueError("retry_ms must be positive")

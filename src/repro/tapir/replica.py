@@ -1,0 +1,196 @@
+"""A TAPIR storage replica.
+
+Replicas are inconsistently replicated: each answers reads and validates
+prepares from purely local state; agreement is the client's job (IR).  OCC
+validation checks the transaction's read versions against the store and
+its read/write keys against other prepared-but-unresolved transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.sim.message import Message
+from repro.sim.node import Node
+from repro.store.kvstore import VersionedKVStore
+from repro.tapir.config import TapirConfig
+from repro.tapir.messages import (
+    PREPARE_ABORT,
+    PREPARE_ABSTAIN,
+    PREPARE_OK,
+    TapirCommit,
+    TapirCommitAck,
+    TapirFinalize,
+    TapirFinalizeAck,
+    TapirPrepare,
+    TapirPrepareReply,
+    TapirRead,
+    TapirReadReply,
+)
+from repro.txn import TID
+
+
+class _PreparedTxn:
+    """A transaction this replica has prepared but not yet resolved."""
+
+    __slots__ = ("read_keys", "write_keys", "read_versions")
+
+    def __init__(self, read_versions: Tuple[Tuple[str, int], ...],
+                 write_keys: Tuple[str, ...]):
+        self.read_versions = dict(read_versions)
+        self.read_keys: FrozenSet[str] = frozenset(self.read_versions)
+        self.write_keys: FrozenSet[str] = frozenset(write_keys)
+
+
+class TapirReplica(Node):
+    """One replica of one TAPIR partition."""
+
+    #: Extra CPU per prepared-list entry scanned during OCC validation, in
+    #: ms.  This is what makes "excessive queuing of pending transactions"
+    #: (§6.4.1) self-reinforcing: entries held longer (slow paths, load)
+    #: make validation slower, which queues more work.
+    PENDING_SCAN_COST_MS = 0.001
+
+    def __init__(self, node_id: str, dc: str, kernel, network,
+                 partition_id: str, group, config: TapirConfig,
+                 service_time_ms: float = 0.0):
+        super().__init__(node_id, dc, kernel, network,
+                         service_time_ms=service_time_ms)
+        self.partition_id = partition_id
+        self.group = list(group)
+        self.config = config
+        self.store = VersionedKVStore()
+        self.prepared: Dict[TID, _PreparedTxn] = {}
+        # Key indexes so the simulator's validation cost is O(txn keys)
+        # even when the prepared list is long; the *modeled* CPU cost of a
+        # scan stays proportional to len(prepared) via service_time_for.
+        self._prepared_readers: Dict[str, set] = {}
+        self._prepared_writers: Dict[str, set] = {}
+        #: Outcomes already applied, to deduplicate retransmitted commits.
+        self.resolved: Dict[TID, bool] = {}
+        self.prepares_ok = 0
+        self.prepares_rejected = 0
+
+    def _index_prepared(self, tid: TID, txn: _PreparedTxn) -> None:
+        self.prepared[tid] = txn
+        for key in txn.read_keys:
+            self._prepared_readers.setdefault(key, set()).add(tid)
+        for key in txn.write_keys:
+            self._prepared_writers.setdefault(key, set()).add(tid)
+
+    def _drop_prepared(self, tid: TID) -> None:
+        txn = self.prepared.pop(tid, None)
+        if txn is None:
+            return
+        for key in txn.read_keys:
+            readers = self._prepared_readers.get(key)
+            if readers is not None:
+                readers.discard(tid)
+                if not readers:
+                    del self._prepared_readers[key]
+        for key in txn.write_keys:
+            writers = self._prepared_writers.get(key)
+            if writers is not None:
+                writers.discard(tid)
+                if not writers:
+                    del self._prepared_writers[key]
+
+    def service_time_for(self, msg) -> float:
+        """CPU cost: base plus the modeled prepared-list scan (§6.4.1)."""
+        if self.service_time_ms > 0 and isinstance(msg, TapirPrepare):
+            return (self.service_time_ms
+                    + len(self.prepared) * self.PENDING_SCAN_COST_MS)
+        return self.service_time_ms
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, msg: Message) -> None:
+        if isinstance(msg, TapirRead):
+            self._on_read(msg)
+        elif isinstance(msg, TapirPrepare):
+            self._on_prepare(msg)
+        elif isinstance(msg, TapirFinalize):
+            self._on_finalize(msg)
+        elif isinstance(msg, TapirCommit):
+            self._on_commit(msg)
+        else:  # pragma: no cover - routing bug
+            raise TypeError(f"unexpected TAPIR message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _on_read(self, msg: TapirRead) -> None:
+        values = {}
+        for key in msg.keys:
+            record = self.store.read(key)
+            values[key] = (record.value, record.version)
+        self.send(msg.src, TapirReadReply(
+            tid=msg.tid, partition_id=self.partition_id, values=values))
+
+    def _validate(self, tid: TID,
+                  read_versions: Dict[str, int],
+                  write_keys: FrozenSet[str]) -> str:
+        # Stale reads abort outright.
+        for key, version in read_versions.items():
+            if self.store.version(key) != version:
+                return PREPARE_ABORT
+        # Conflicts with other prepared transactions abstain: the other
+        # transaction may yet abort, so this one is not necessarily doomed.
+        for key in write_keys:
+            for other in self._prepared_writers.get(key, ()):
+                if other != tid:
+                    return PREPARE_ABSTAIN
+            for other in self._prepared_readers.get(key, ()):
+                if other != tid:
+                    return PREPARE_ABSTAIN
+        for key in read_versions:
+            for other in self._prepared_writers.get(key, ()):
+                if other != tid:
+                    return PREPARE_ABSTAIN
+        return PREPARE_OK
+
+    def _on_prepare(self, msg: TapirPrepare) -> None:
+        tid = msg.tid
+        if tid in self.resolved:
+            result = PREPARE_OK if self.resolved[tid] else PREPARE_ABORT
+        elif tid in self.prepared:
+            result = PREPARE_OK
+        else:
+            result = self._validate(tid, dict(msg.read_versions),
+                                    frozenset(msg.write_keys))
+            if result == PREPARE_OK:
+                self._index_prepared(tid, _PreparedTxn(
+                    msg.read_versions, msg.write_keys))
+                self.prepares_ok += 1
+            else:
+                self.prepares_rejected += 1
+        self.send(msg.src, TapirPrepareReply(
+            tid=tid, partition_id=self.partition_id,
+            replica_id=self.node_id, result=result))
+
+    def _on_finalize(self, msg: TapirFinalize) -> None:
+        """IR slow path: adopt the client's consensus result."""
+        tid = msg.tid
+        if tid not in self.resolved:
+            if msg.result == PREPARE_OK and tid not in self.prepared:
+                # Adopt the group's decision even though we abstained.
+                self._index_prepared(tid, _PreparedTxn((), ()))
+            if msg.result != PREPARE_OK:
+                self._drop_prepared(tid)
+        self.send(msg.src, TapirFinalizeAck(
+            tid=tid, partition_id=self.partition_id,
+            replica_id=self.node_id))
+
+    def _on_commit(self, msg: TapirCommit) -> None:
+        tid = msg.tid
+        if tid not in self.resolved:
+            self.resolved[tid] = msg.commit
+            if msg.commit:
+                for key, value in msg.writes.items():
+                    self.store.write_if_newer(key, value,
+                                              self.store.version(key) + 1)
+            self._drop_prepared(tid)
+        self.send(msg.src, TapirCommitAck(
+            tid=tid, partition_id=self.partition_id,
+            replica_id=self.node_id))

@@ -1,0 +1,21 @@
+"""Benchmark workloads: Retwis, YCSB+T, and the load driver (§6.2).
+
+Both workloads follow the configurations the paper copied from TAPIR:
+10 million keys (scaled down by default here; see DESIGN.md), key
+popularity Zipfian with coefficient 0.75, and the transaction mixes of
+Table 2 (Retwis) and 4 read-modify-writes per transaction (YCSB+T).
+"""
+
+from repro.workloads.zipf import ZipfianGenerator
+from repro.workloads.retwis import RetwisWorkload, RETWIS_MIX
+from repro.workloads.ycsbt import YcsbTWorkload
+from repro.workloads.driver import WorkloadDriver, WorkloadStats
+
+__all__ = [
+    "ZipfianGenerator",
+    "RetwisWorkload",
+    "RETWIS_MIX",
+    "YcsbTWorkload",
+    "WorkloadDriver",
+    "WorkloadStats",
+]

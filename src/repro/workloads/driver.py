@@ -1,0 +1,144 @@
+"""The load driver: submits workload transactions against a deployment.
+
+The paper drives each system with a pool of closed-loop clients — one
+outstanding transaction each (§6.2) — sized to hit a *target throughput*
+(§6.4).  The driver generates Poisson arrivals at the target rate and
+assigns them round-robin to the deployment's client nodes.  In
+``closed_loop`` mode (used by the throughput sweeps) each client runs one
+transaction at a time and queues further arrivals, so at saturation the
+offered load self-throttles exactly like the paper's client pool; in
+open-loop mode (fine for light-load latency experiments) arrivals submit
+immediately.
+
+Measurements follow the paper's method: run for ``duration_ms``, count only
+transactions completing inside the central measurement window (the paper
+discards the first and last 30 s of each 90 s run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.stats import LatencyRecorder, SeriesRecorder
+from repro.txn import TxnResult
+
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+@dataclass
+class WorkloadStats:
+    """Everything an experiment needs from one run."""
+
+    latency: LatencyRecorder
+    outcomes: SeriesRecorder
+    by_type: Dict[str, LatencyRecorder] = field(default_factory=dict)
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
+    submitted: int = 0
+
+    @property
+    def committed_tps(self) -> float:
+        return self.outcomes.rate_per_second(COMMITTED)
+
+    @property
+    def abort_rate(self) -> float:
+        """Fraction of completed transactions that aborted."""
+        return self.outcomes.fraction(ABORTED, of=(COMMITTED, ABORTED))
+
+
+class WorkloadDriver:
+    """Drives one workload against one deployment."""
+
+    def __init__(self, cluster, workload, target_tps: float,
+                 duration_ms: float, warmup_ms: float = 0.0,
+                 cooldown_ms: float = 0.0, closed_loop: bool = False):
+        if target_tps <= 0:
+            raise ValueError("target_tps must be positive")
+        if duration_ms <= warmup_ms + cooldown_ms:
+            raise ValueError("duration must exceed warmup + cooldown")
+        self.cluster = cluster
+        self.workload = workload
+        self.target_tps = target_tps
+        self.duration_ms = duration_ms
+        self.warmup_ms = warmup_ms
+        self.cooldown_ms = cooldown_ms
+        self.closed_loop = closed_loop
+        self._next_client = 0
+        self._busy: Dict[int, bool] = {}
+        self._backlog: Dict[int, List] = {}
+        self.stats = WorkloadStats(LatencyRecorder(workload.name),
+                                   SeriesRecorder())
+
+    # ------------------------------------------------------------------
+    def run(self, settle_ms: float = 500.0,
+            account_bandwidth: bool = False) -> WorkloadStats:
+        """Execute the run and return the statistics.
+
+        ``settle_ms`` lets Raft bootstrap (followers adopt the initial
+        term) before load starts, mirroring a real deployment's idle start.
+        """
+        kernel = self.cluster.kernel
+        self.cluster.run(settle_ms)
+        start = kernel.now
+        window_start = start + self.warmup_ms
+        window_end = start + self.duration_ms - self.cooldown_ms
+        self.stats.latency.set_window(window_start, window_end)
+        self.stats.outcomes.set_window(window_start, window_end)
+        if account_bandwidth:
+            kernel.schedule_at(window_start,
+                               self.cluster.network.start_accounting)
+            kernel.schedule_at(window_end,
+                               self.cluster.network.stop_accounting)
+        self._schedule_next_arrival(end_at=start + self.duration_ms)
+        # Run past the end so in-flight transactions can finish (they are
+        # outside the window anyway).
+        self.cluster.run(self.duration_ms + 2_000.0)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _schedule_next_arrival(self, end_at: float) -> None:
+        kernel = self.cluster.kernel
+        gap_ms = kernel.random.expovariate(self.target_tps / 1000.0)
+        at = kernel.now + gap_ms
+        if at >= end_at:
+            return
+        kernel.schedule(gap_ms, self._arrive, end_at)
+
+    def _arrive(self, end_at: float) -> None:
+        index = self._next_client % len(self.cluster.clients)
+        self._next_client += 1
+        spec = self.workload.next_spec()
+        if self.closed_loop and self._busy.get(index):
+            # One outstanding transaction per client (§6.2): queue the
+            # arrival until this client's current transaction completes.
+            self._backlog.setdefault(index, []).append(spec)
+        else:
+            self._submit(index, spec)
+        self._schedule_next_arrival(end_at)
+
+    def _submit(self, index: int, spec) -> None:
+        client = self.cluster.clients[index]
+        self._busy[index] = True
+        self.stats.submitted += 1
+        client.submit(spec, lambda result, i=index:
+                      self._on_complete(result, i))
+
+    def _on_complete(self, result: TxnResult, index: int = -1) -> None:
+        now = self.cluster.kernel.now
+        outcome = COMMITTED if result.committed else ABORTED
+        self.stats.outcomes.record(outcome, at_ms=now)
+        if result.committed:
+            self.stats.latency.record(result.latency_ms, at_ms=now)
+            per_type = self.stats.by_type.setdefault(
+                result.txn_type, LatencyRecorder(result.txn_type))
+            per_type.record(result.latency_ms)
+        else:
+            self.stats.abort_reasons[result.reason] = \
+                self.stats.abort_reasons.get(result.reason, 0) + 1
+        if self.closed_loop and index >= 0:
+            backlog = self._backlog.get(index)
+            if backlog:
+                self._submit(index, backlog.pop(0))
+            else:
+                self._busy[index] = False

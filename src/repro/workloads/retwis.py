@@ -1,0 +1,101 @@
+"""The Retwis workload: transactions of a Twitter-like application.
+
+The transaction mix is Table 2 of the paper (reproduced from TAPIR):
+
+====================  ======  ======  ==========
+Transaction type      # gets  # puts  workload %
+====================  ======  ======  ==========
+Add User              1       3       5%
+Follow/Unfollow       2       2       15%
+Post Tweet            3       5       30%
+Load Timeline         rand(1,10)  0   50%
+====================  ======  ======  ==========
+
+Transactions average about 4.5 keys.  Read-modify-write keys increment a
+counter embedded in the stored value; blind-write keys receive a fresh
+payload.  Values are padded to ``value_size`` bytes so that the bandwidth
+experiment (Figure 7) sees realistic message sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.txn import TransactionSpec
+from repro.workloads.zipf import ZipfianGenerator
+
+#: (txn_type, cumulative probability) — Table 2's distribution.
+RETWIS_MIX: Tuple[Tuple[str, float], ...] = (
+    ("add_user", 0.05),
+    ("follow_unfollow", 0.20),
+    ("post_tweet", 0.50),
+    ("load_timeline", 1.00),
+)
+
+
+def bump_counter(value, pad: int) -> str:
+    """Read-modify-write: parse the stored counter and increment it."""
+    try:
+        counter = int(value) if value is not None else 0
+    except (TypeError, ValueError):
+        counter = 0
+    return str(counter + 1).zfill(pad)
+
+
+class RetwisWorkload:
+    """Generates Retwis :class:`~repro.txn.TransactionSpec` instances."""
+
+    name = "retwis"
+
+    def __init__(self, n_keys: int = 1_000_000, theta: float = 0.75,
+                 value_size: int = 64, seed: int = 0):
+        self.n_keys = n_keys
+        self.value_size = value_size
+        self.rng = random.Random(seed)
+        self.zipf = ZipfianGenerator(n_keys, theta, rng=self.rng)
+
+    # ------------------------------------------------------------------
+    def _pick_type(self) -> str:
+        u = self.rng.random()
+        for txn_type, cumulative in RETWIS_MIX:
+            if u <= cumulative:
+                return txn_type
+        return RETWIS_MIX[-1][0]  # pragma: no cover - float edge
+
+    def _rmw_spec(self, txn_type: str, n_rmw: int,
+                  n_blind: int) -> TransactionSpec:
+        """A transaction with ``n_rmw`` read-modify-write keys plus
+        ``n_blind`` blind-write keys."""
+        keys = self.zipf.distinct_keys(n_rmw + n_blind)
+        rmw_keys = tuple(keys[:n_rmw])
+        blind_keys = tuple(keys[n_rmw:])
+        pad = self.value_size
+
+        def compute(reads: Dict[str, object]) -> Optional[Dict[str, object]]:
+            writes = {k: bump_counter(reads.get(k), pad) for k in rmw_keys}
+            for k in blind_keys:
+                writes[k] = "1".zfill(pad)
+            return writes
+
+        return TransactionSpec(
+            read_keys=rmw_keys, write_keys=rmw_keys + blind_keys,
+            compute_writes=compute, txn_type=txn_type)
+
+    def next_spec(self) -> TransactionSpec:
+        """Draw the next transaction per the Table 2 mix."""
+        txn_type = self._pick_type()
+        if txn_type == "add_user":
+            # 1 get, 3 puts: the read key is rewritten plus two fresh keys.
+            return self._rmw_spec("add_user", n_rmw=1, n_blind=2)
+        if txn_type == "follow_unfollow":
+            # 2 gets, 2 puts over the same two keys.
+            return self._rmw_spec("follow_unfollow", n_rmw=2, n_blind=0)
+        if txn_type == "post_tweet":
+            # 3 gets, 5 puts: three read-modify-writes plus two blind puts.
+            return self._rmw_spec("post_tweet", n_rmw=3, n_blind=2)
+        # Load Timeline: rand(1, 10) gets, read-only.
+        count = self.rng.randint(1, 10)
+        keys = tuple(self.zipf.distinct_keys(count))
+        return TransactionSpec(read_keys=keys, write_keys=(),
+                               txn_type="load_timeline")

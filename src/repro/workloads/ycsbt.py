@@ -1,0 +1,42 @@
+"""The YCSB+T workload.
+
+YCSB+T wraps YCSB's key-value operations in transactions.  Following the
+paper's configuration (§6.2), every transaction performs 4 read-modify-write
+operations on distinct keys drawn from the Zipfian distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.txn import TransactionSpec
+from repro.workloads.retwis import bump_counter
+from repro.workloads.zipf import ZipfianGenerator
+
+
+class YcsbTWorkload:
+    """Generates YCSB+T :class:`~repro.txn.TransactionSpec` instances."""
+
+    name = "ycsbt"
+
+    def __init__(self, n_keys: int = 1_000_000, theta: float = 0.75,
+                 ops_per_txn: int = 4, value_size: int = 64, seed: int = 0):
+        if ops_per_txn < 1:
+            raise ValueError("ops_per_txn must be positive")
+        self.n_keys = n_keys
+        self.ops_per_txn = ops_per_txn
+        self.value_size = value_size
+        self.rng = random.Random(seed)
+        self.zipf = ZipfianGenerator(n_keys, theta, rng=self.rng)
+
+    def next_spec(self) -> TransactionSpec:
+        """Draw the next 4-op read-modify-write transaction."""
+        keys = tuple(self.zipf.distinct_keys(self.ops_per_txn))
+        pad = self.value_size
+
+        def compute(reads: Dict[str, object]) -> Optional[Dict[str, object]]:
+            return {k: bump_counter(reads.get(k), pad) for k in keys}
+
+        return TransactionSpec(read_keys=keys, write_keys=keys,
+                               compute_writes=compute, txn_type="ycsbt_rmw")

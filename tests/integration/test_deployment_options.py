@@ -1,0 +1,222 @@
+"""Integration tests for deployment variants and optimization extensions:
+dedicated coordinator groups, consolidated servers, nearest-replica reads,
+and reconnaissance transactions."""
+
+import pytest
+
+from repro.bench.cluster import CarouselCluster, DeploymentSpec
+from repro.core.config import BASIC, FAST, CarouselConfig
+from repro.core.recon import ReconnaissanceRunner
+from repro.sim.topology import Topology, ec2_five_regions
+from repro.txn import TransactionSpec
+
+
+def increment(key):
+    return TransactionSpec(
+        read_keys=(key,), write_keys=(key,),
+        compute_writes=lambda r, k=key: {k: (r[k] or 0) + 1})
+
+
+class TestDedicatedCoordinatorGroups:
+    def test_coordinator_groups_registered(self):
+        cluster = CarouselCluster(
+            DeploymentSpec(seed=3, jitter_fraction=0.0,
+                           dedicated_coordinator_groups=True),
+            CarouselConfig())
+        for dc in cluster.topology.datacenters:
+            info = cluster.directory.lookup(f"coord-{dc}")
+            assert info.leader_datacenter() == dc
+        # Data never routes to coordinator groups.
+        assert all(not p.startswith("coord-")
+                   for p in cluster.ring.partitions)
+
+    def test_transactions_commit_with_dedicated_coordinators(self):
+        cluster = CarouselCluster(
+            DeploymentSpec(seed=3, jitter_fraction=0.0,
+                           dedicated_coordinator_groups=True),
+            CarouselConfig(mode=FAST))
+        cluster.run(500)
+        results = []
+        cluster.client("us-west").submit(increment("dk"), results.append)
+        cluster.run(5000)
+        assert results and results[0].committed
+
+    def test_coordinator_group_chosen_without_local_participant(self):
+        """A three-datacenter topology where dc2 hosts no partition
+        leader: its clients must coordinate through the dedicated local
+        group."""
+        topo = Topology(["dc0", "dc1", "dc2"],
+                        {("dc0", "dc1"): 20.0, ("dc0", "dc2"): 20.0,
+                         ("dc1", "dc2"): 20.0})
+        cluster = CarouselCluster(
+            DeploymentSpec(topology=topo, n_partitions=2, seed=5,
+                           jitter_fraction=0.0,
+                           dedicated_coordinator_groups=True),
+            CarouselConfig())
+        cluster.run(300)
+        client = cluster.client("dc2")
+        tid = client.submit(increment("x"))
+        txn = client._active[tid]
+        assert txn.coord_group_id == "coord-dc2"
+        cluster.run(5000)
+        assert client.committed == 1
+
+
+class TestConsolidatedServers:
+    def test_one_server_per_datacenter(self):
+        cluster = CarouselCluster(
+            DeploymentSpec(seed=3, jitter_fraction=0.0,
+                           consolidate_servers=True),
+            CarouselConfig())
+        assert len(cluster.servers) == len(cluster.topology.datacenters)
+        # Each server hosts several partition replicas (§3.3).
+        assert all(len(s.partitions) >= 2
+                   for s in cluster.servers.values())
+
+    @pytest.mark.parametrize("mode", [BASIC, FAST])
+    def test_transactions_commit_on_consolidated_servers(self, mode):
+        cluster = CarouselCluster(
+            DeploymentSpec(seed=3, jitter_fraction=0.0,
+                           consolidate_servers=True),
+            CarouselConfig(mode=mode))
+        cluster.run(500)
+        results = []
+        cluster.client("europe").submit(increment("ck"), results.append)
+        cluster.client("asia").submit(increment("ck2"), results.append)
+        cluster.run(5000)
+        assert len(results) == 2
+        assert all(r.committed for r in results)
+
+
+class TestNearestReplicaReads:
+    def find_partition_without_replica_in(self, cluster, dc):
+        for i in range(3000):
+            key = f"nr{i}"
+            pid = cluster.ring.partition_for(key)
+            info = cluster.directory.lookup(pid)
+            if info.replica_in(dc) is None:
+                return key, pid
+        raise AssertionError("every partition has a replica in " + dc)
+
+    def test_nearest_replica_answers_read(self):
+        cluster = CarouselCluster(
+            DeploymentSpec(seed=7, jitter_fraction=0.0),
+            CarouselConfig(mode=FAST, read_nearest_replica=True))
+        cluster.run(500)
+        client_dc = "us-west"
+        key, pid = self.find_partition_without_replica_in(cluster,
+                                                          client_dc)
+        info = cluster.directory.lookup(pid)
+        # Make the nearest (non-leader) replica's value distinguishable;
+        # same version everywhere so the transaction still commits.
+        topo = cluster.topology
+        nearest = min(
+            info.replicas,
+            key=lambda r: topo.rtt(
+                client_dc, info.datacenters[info.replicas.index(r)]))
+        for server in cluster.replicas_of(pid):
+            value = "nearest" if server.node_id == nearest else "leader"
+            server.partitions[pid].store.write(key, value, 1)
+        results = []
+        cluster.client(client_dc).submit(TransactionSpec(
+            read_keys=(key,), write_keys=(key,),
+            compute_writes=lambda r, k=key: {k: "done"}), results.append)
+        cluster.run(5000)
+        assert results[0].committed
+        if nearest != info.leader:
+            # The closer replica's reply arrived first and was used.
+            assert results[0].reads[key] == "nearest"
+
+    def test_disabled_by_default(self):
+        config = CarouselConfig(mode=FAST)
+        assert not config.read_nearest_replica
+
+
+class TestReconnaissanceRunner:
+    def make(self, max_attempts=3):
+        cluster = CarouselCluster(
+            DeploymentSpec(seed=9, jitter_fraction=0.0),
+            CarouselConfig(mode=FAST))
+        cluster.populate({"idx:name": "id-7", "rec:id-7": 10})
+        cluster.run(500)
+        client = cluster.client("us-east")
+        runner = ReconnaissanceRunner(client, cluster.kernel,
+                                      max_attempts=max_attempts)
+        return cluster, client, runner
+
+    def test_happy_path(self):
+        cluster, client, runner = self.make()
+        outcomes = []
+        runner.run(
+            recon_keys=("idx:name",),
+            resolve_keys=lambda r: ((f"rec:{r['idx:name']}",),
+                                    (f"rec:{r['idx:name']}",)),
+            compute_writes=lambda recon, reads: {
+                f"rec:{recon['idx:name']}":
+                    reads[f"rec:{recon['idx:name']}"] + 1},
+            on_complete=outcomes.append)
+        cluster.run(10_000)
+        assert outcomes and outcomes[0].committed
+        assert outcomes[0].attempts == 1
+
+    def test_unresolvable_key_aborts(self):
+        cluster, client, runner = self.make()
+        outcomes = []
+        runner.run(recon_keys=("idx:missing",),
+                   resolve_keys=lambda r: None,
+                   compute_writes=lambda recon, reads: {},
+                   on_complete=outcomes.append)
+        cluster.run(10_000)
+        assert outcomes and not outcomes[0].committed
+
+    def test_revalidation_failure_retries_and_succeeds(self):
+        cluster, client, runner = self.make()
+        outcomes = []
+        # Sabotage: move the index entry after the reconnaissance read but
+        # before the main transaction can see it.  The main transaction's
+        # revalidation must catch the change and retry against the new id.
+        pid = cluster.ring.partition_for("idx:name")
+
+        def sabotage():
+            for server in cluster.replicas_of(pid):
+                store = server.partitions[pid].store
+                store.write("idx:name", "id-8",
+                            store.version("idx:name") + 1)
+            key_pid = cluster.ring.partition_for("rec:id-8")
+            for server in cluster.replicas_of(key_pid):
+                server.partitions[key_pid].store.write("rec:id-8", 50, 1)
+
+        cluster.kernel.schedule(60.0, sabotage)
+        runner.run(
+            recon_keys=("idx:name",),
+            resolve_keys=lambda r: ((f"rec:{r['idx:name']}",),
+                                    (f"rec:{r['idx:name']}",)),
+            compute_writes=lambda recon, reads: {
+                f"rec:{recon['idx:name']}":
+                    (reads[f"rec:{recon['idx:name']}"] or 0) + 1},
+            on_complete=outcomes.append)
+        cluster.run(20_000)
+        assert outcomes
+        outcome = outcomes[0]
+        assert outcome.committed
+        # It needed more than one attempt iff the sabotage raced in time.
+        if outcome.attempts > 1:
+            assert runner.revalidation_failures >= 1
+            assert outcome.recon_reads["idx:name"] == "id-8"
+
+    def test_gives_up_after_max_attempts(self):
+        cluster, client, runner = self.make(max_attempts=1)
+        outcomes = []
+        runner.run(
+            recon_keys=("idx:name",),
+            resolve_keys=lambda r: (("rec:id-7",), ("rec:id-7",)),
+            compute_writes=lambda recon, reads: None,  # always aborts
+            on_complete=outcomes.append)
+        cluster.run(10_000)
+        assert outcomes and not outcomes[0].committed
+        assert outcomes[0].attempts == 1
+
+    def test_invalid_max_attempts(self):
+        cluster, client, __ = self.make()
+        with pytest.raises(ValueError):
+            ReconnaissanceRunner(client, cluster.kernel, max_attempts=0)

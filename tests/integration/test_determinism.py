@@ -1,0 +1,37 @@
+"""End-to-end determinism: identical seeds produce identical runs.
+
+Determinism is what makes the failure-injection tests meaningful and the
+benchmarks reproducible, so it is guarded here as an invariant of the
+whole stack (kernel, network, Raft, Carousel, TAPIR, workloads, driver).
+"""
+
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.sim.topology import uniform_topology
+
+
+def run_once(system, seed):
+    result = run_workload(
+        system, "retwis", target_tps=150.0, duration_ms=3_000.0,
+        warmup_ms=500.0, cooldown_ms=500.0,
+        topology=uniform_topology(5, 5.0), n_keys=50_000, seed=seed,
+        clients_per_dc=4)
+    return result.stats
+
+
+@pytest.mark.parametrize("system", ["carousel-basic", "carousel-fast",
+                                    "tapir"])
+class TestDeterminism:
+    def test_identical_seeds_identical_results(self, system):
+        first = run_once(system, seed=21)
+        second = run_once(system, seed=21)
+        assert first.latency.samples == second.latency.samples
+        assert first.outcomes.counts == second.outcomes.counts
+        assert first.abort_reasons == second.abort_reasons
+
+    def test_different_seeds_differ(self, system):
+        first = run_once(system, seed=21)
+        second = run_once(system, seed=22)
+        # Same workload distribution, different arrival/key draws.
+        assert first.latency.samples != second.latency.samples

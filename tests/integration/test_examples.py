@@ -1,0 +1,33 @@
+"""Smoke tests: the shipped examples keep running end to end.
+
+Only the quick examples run here (the longer ones — bank transfers,
+failover, retwis — exercise paths already covered by the integration
+tests and benchmarks).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "transfer" in out
+        assert "committed" in out
+        assert "conserved" in out
+
+    def test_tpcc_payment(self, capsys):
+        out = run_example("tpcc_payment.py", capsys)
+        assert "payment(alice): committed=True" in out
+        assert "payment(carol): committed=False" in out
+        assert "exactly once" in out

@@ -1,0 +1,46 @@
+"""API-surface checks: every module imports cleanly and is documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name for __, name, ___ in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."))
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports_and_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} has no module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_documented(module_name):
+    module = importlib.import_module(module_name)
+    for name, obj in vars(module).items():
+        if name.startswith("_") or not inspect.isclass(obj):
+            continue
+        if obj.__module__ != module_name:
+            continue  # re-export
+        assert obj.__doc__, f"{module_name}.{name} has no docstring"
+        for method_name, method in vars(obj).items():
+            if method_name.startswith("_"):
+                continue
+            if inspect.isfunction(method):
+                assert method.__doc__ or method_name in (
+                    "handle_message",), \
+                    f"{module_name}.{name}.{method_name} undocumented"
+
+
+def test_package_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,185 @@
+"""Unit tests for client-side behaviour of both systems."""
+
+import pytest
+
+from repro.bench.cluster import CarouselCluster, DeploymentSpec, TapirCluster
+from repro.core.config import BASIC, FAST, CarouselConfig
+from repro.sim.topology import ec2_five_regions, uniform_topology
+from repro.txn import TID, TransactionSpec
+
+
+def carousel(mode=BASIC, topology=None, seed=2, **kwargs):
+    # One partition per datacenter, as in the paper's deployment.
+    topology = topology or uniform_topology(3, 4.0)
+    spec = DeploymentSpec(topology=topology,
+                          n_partitions=len(topology.datacenters),
+                          seed=seed, jitter_fraction=0.0)
+    cluster = CarouselCluster(spec, CarouselConfig(mode=mode, **kwargs))
+    cluster.run(300)
+    return cluster
+
+
+class TestTids:
+    def test_tids_are_client_scoped_and_monotone(self):
+        cluster = carousel()
+        client = cluster.clients[0]
+        t1 = client.begin()
+        t2 = client.begin()
+        assert t1.client_id == t2.client_id == client.node_id
+        assert t2.seq == t1.seq + 1
+        assert t1 < t2
+
+    def test_tids_unique_across_clients(self):
+        cluster = carousel()
+        a = cluster.clients[0].begin()
+        b = cluster.clients[1].begin()
+        assert a != b
+
+
+class TestCoordinatorChoice:
+    def test_prefers_local_participant_leader(self):
+        cluster = carousel(topology=ec2_five_regions(), seed=3)
+        client = cluster.client("us-west")
+        # Find a key whose partition leader is in us-west.
+        key = None
+        for i in range(3000):
+            candidate = f"local{i}"
+            pid = cluster.ring.partition_for(candidate)
+            if cluster.directory.lookup(pid).leader_datacenter() == \
+                    "us-west":
+                key = candidate
+                local_pid = pid
+                break
+        assert key is not None
+        results = []
+        tid = client.submit(TransactionSpec(
+            read_keys=(key,), write_keys=(key,),
+            compute_writes=lambda r: {key: 1}), results.append)
+        txn = client._active[tid]
+        assert txn.coord_group_id == local_pid
+        cluster.run(3000)
+        assert results[0].committed
+
+    def test_falls_back_to_any_local_leader(self):
+        cluster = carousel(topology=ec2_five_regions(), seed=3)
+        client = cluster.client("us-west")
+        # A key whose leader is remote: the coordinator should still be a
+        # group led from us-west (§3.3).
+        key = None
+        for i in range(3000):
+            candidate = f"remote{i}"
+            pid = cluster.ring.partition_for(candidate)
+            if cluster.directory.lookup(pid).leader_datacenter() != \
+                    "us-west":
+                key = candidate
+                break
+        tid = client.submit(TransactionSpec(
+            read_keys=(key,), write_keys=(key,),
+            compute_writes=lambda r: {key: 1}))
+        txn = client._active[tid]
+        coord_dc = cluster.directory.lookup(
+            txn.coord_group_id).leader_datacenter()
+        assert coord_dc == "us-west"
+
+
+class TestReadMerging:
+    def test_first_reply_wins_in_fast_mode(self):
+        cluster = carousel(mode=FAST, topology=ec2_five_regions(), seed=5)
+        client = cluster.client("us-west")
+        # A partition with a local replica and a remote leader: the local
+        # replica's reply must be used (it arrives first).
+        key = None
+        for i in range(3000):
+            candidate = f"merge{i}"
+            pid = cluster.ring.partition_for(candidate)
+            info = cluster.directory.lookup(pid)
+            if info.leader_datacenter() != "us-west" and \
+                    info.replica_in("us-west"):
+                key = candidate
+                break
+        # Different values at leader vs local replica (same version, so no
+        # stale abort): whichever the client uses shows in its reads.
+        pid = cluster.ring.partition_for(key)
+        info = cluster.directory.lookup(pid)
+        for server in cluster.replicas_of(pid):
+            value = ("local" if server.dc == "us-west" else "leader")
+            server.partitions[pid].store.write(key, value, 1)
+        results = []
+        client.submit(TransactionSpec(read_keys=(key,), write_keys=(key,),
+                                      compute_writes=lambda r: {key: "x"}),
+                      results.append)
+        cluster.run(5000)
+        assert results[0].reads[key] == "local"
+
+
+class TestStatsCounters:
+    def test_committed_and_aborted_counts(self):
+        cluster = carousel()
+        client = cluster.clients[0]
+        results = []
+        client.submit(TransactionSpec(
+            read_keys=("s1",), write_keys=("s1",),
+            compute_writes=lambda r: {"s1": 1}), results.append)
+        cluster.run(2000)
+        client.submit(TransactionSpec(
+            read_keys=("s1",), write_keys=("s1",),
+            compute_writes=lambda r: None), results.append)
+        cluster.run(2000)
+        assert client.submitted == 2
+        assert client.committed == 1
+        assert client.aborted == 1
+
+    def test_result_hook_called(self):
+        hooked = []
+        spec = DeploymentSpec(topology=uniform_topology(3, 4.0),
+                              n_partitions=3, seed=2, jitter_fraction=0.0)
+        cluster = CarouselCluster(spec, CarouselConfig(),
+                                  result_hook=hooked.append)
+        cluster.run(300)
+        cluster.clients[0].submit(TransactionSpec(
+            read_keys=("h",), write_keys=()))
+        cluster.run(2000)
+        assert len(hooked) == 1
+
+
+class TestReadOnlyToggle:
+    def test_disabled_read_only_goes_through_coordinator(self):
+        cluster = carousel(read_only_optimization=False)
+        client = cluster.clients[0]
+        results = []
+        client.submit(TransactionSpec(read_keys=("ro",), write_keys=()),
+                      results.append)
+        cluster.run(3000)
+        assert results[0].committed
+        # The commit path was used: some coordinator decided this txn.
+        decided = sum(len(s.coordinator.finished)
+                      for s in cluster.servers.values())
+        assert decided >= 1
+
+
+class TestTapirClientDetails:
+    def test_reads_go_to_closest_replica(self):
+        spec = DeploymentSpec(topology=ec2_five_regions(), seed=2,
+                              jitter_fraction=0.0)
+        cluster = TapirCluster(spec)
+        cluster.run(100)
+        client = cluster.client("europe")
+        # closest replica of each partition from europe
+        for pid in cluster.partition_ids:
+            replica = client._closest_replica(pid)
+            info = cluster.directory.lookup(pid)
+            dcs = dict(zip(info.replicas, info.datacenters))
+            best = min(info.datacenters,
+                       key=lambda dc: cluster.topology.rtt("europe", dc))
+            assert cluster.topology.rtt("europe", dcs[replica]) == \
+                cluster.topology.rtt("europe", best)
+
+    def test_empty_transaction_commits(self):
+        cluster = TapirCluster(DeploymentSpec(
+            topology=uniform_topology(3, 4.0), n_partitions=3, seed=2,
+            jitter_fraction=0.0))
+        results = []
+        cluster.clients[0].submit(
+            TransactionSpec(read_keys=(), write_keys=()), results.append)
+        cluster.run(100)
+        assert results and results[0].committed

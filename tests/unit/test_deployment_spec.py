@@ -1,0 +1,69 @@
+"""Unit tests for deployment-spec validation and placement."""
+
+import pytest
+
+from repro.bench.cluster import CarouselCluster, DeploymentSpec
+from repro.core.config import CarouselConfig
+from repro.sim.topology import ec2_five_regions, uniform_topology
+
+
+class TestDeploymentSpecValidation:
+    def test_defaults_match_paper(self):
+        spec = DeploymentSpec()
+        assert spec.n_partitions == 5
+        assert spec.replication_factor == 3
+        assert set(spec.topology.datacenters) == {
+            "us-west", "us-east", "europe", "asia", "australia"}
+
+    def test_even_replication_factor_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            DeploymentSpec(replication_factor=2)
+
+    def test_replication_beyond_datacenters_rejected(self):
+        with pytest.raises(ValueError, match="not enough datacenters"):
+            DeploymentSpec(topology=uniform_topology(3, 5.0),
+                           replication_factor=5)
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ValueError, match="at least one partition"):
+            DeploymentSpec(n_partitions=0)
+
+
+class TestPlacement:
+    def test_paper_deployment_shape(self):
+        cluster = CarouselCluster(DeploymentSpec(seed=1),
+                                  CarouselConfig())
+        # 15 servers: 5 partitions x replication factor 3, one replica per
+        # server (§6.1).
+        assert len(cluster.servers) == 15
+        # Three servers (and at most one replica per partition) per DC.
+        per_dc = {}
+        for server in cluster.servers.values():
+            per_dc.setdefault(server.dc, []).append(server)
+        assert all(len(v) == 3 for v in per_dc.values())
+        # Exactly one partition leader per datacenter.
+        for dc in cluster.topology.datacenters:
+            assert len(cluster.directory.leaders_in(dc)) == 1
+
+    def test_at_most_one_replica_per_partition_per_dc(self):
+        cluster = CarouselCluster(DeploymentSpec(seed=1),
+                                  CarouselConfig())
+        for pid in cluster.partition_ids:
+            dcs = cluster.directory.lookup(pid).datacenters
+            assert len(set(dcs)) == len(dcs)
+
+    def test_leader_in_home_datacenter(self):
+        cluster = CarouselCluster(DeploymentSpec(seed=1),
+                                  CarouselConfig())
+        # Partition p<i> leads from datacenter i (the placement rule).
+        for i, pid in enumerate(cluster.partition_ids):
+            expected = cluster.topology.datacenters[
+                i % len(cluster.topology.datacenters)]
+            assert cluster.directory.lookup(pid).leader_datacenter() == \
+                expected
+
+    def test_clients_created_per_dc(self):
+        cluster = CarouselCluster(DeploymentSpec(seed=1, clients_per_dc=3),
+                                  CarouselConfig())
+        assert len(cluster.clients) == 15
+        assert cluster.client("asia", 2).dc == "asia"

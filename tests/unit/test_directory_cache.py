@@ -1,0 +1,134 @@
+"""Unit and integration tests for the client-side directory cache."""
+
+import pytest
+
+from repro.bench.cluster import CarouselCluster, DeploymentSpec
+from repro.core.config import BASIC, CarouselConfig
+from repro.raft.node import RaftConfig
+from repro.sim.failure import FailureInjector
+from repro.store.directory import (
+    DirectoryCache,
+    DirectoryService,
+    PartitionInfo,
+)
+from repro.txn import TransactionSpec
+
+
+def make_authority():
+    directory = DirectoryService()
+    directory.register(PartitionInfo("p0", ["n0", "n1", "n2"],
+                                     ["dc0", "dc1", "dc2"], "n0"))
+    return directory
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestDirectoryCache:
+    def test_caches_within_ttl(self):
+        authority = make_authority()
+        clock = FakeClock()
+        cache = DirectoryCache(authority, clock, ttl_ms=100.0)
+        assert cache.lookup("p0").leader == "n0"
+        authority.set_leader("p0", "n1")
+        clock.now = 50.0
+        assert cache.lookup("p0").leader == "n0"  # stale but within TTL
+        assert cache.hits == 1
+        assert cache.refreshes == 1
+
+    def test_refreshes_after_ttl(self):
+        authority = make_authority()
+        clock = FakeClock()
+        cache = DirectoryCache(authority, clock, ttl_ms=100.0)
+        cache.lookup("p0")
+        authority.set_leader("p0", "n1")
+        clock.now = 101.0
+        assert cache.lookup("p0").leader == "n1"
+        assert cache.refreshes == 2
+
+    def test_invalidate_single_entry(self):
+        authority = make_authority()
+        clock = FakeClock()
+        cache = DirectoryCache(authority, clock, ttl_ms=1e9)
+        cache.lookup("p0")
+        authority.set_leader("p0", "n2")
+        cache.invalidate("p0")
+        assert cache.lookup("p0").leader == "n2"
+
+    def test_invalidate_all(self):
+        authority = make_authority()
+        clock = FakeClock()
+        cache = DirectoryCache(authority, clock, ttl_ms=1e9)
+        cache.lookup("p0")
+        authority.set_leader("p0", "n2")
+        cache.invalidate()
+        assert cache.lookup("p0").leader == "n2"
+
+    def test_leaders_in_uses_cache(self):
+        authority = make_authority()
+        clock = FakeClock()
+        cache = DirectoryCache(authority, clock, ttl_ms=1e9)
+        assert cache.leaders_in("dc0") == ["p0"]
+        authority.set_leader("p0", "n1")
+        assert cache.leaders_in("dc0") == ["p0"]  # cached view
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            DirectoryCache(make_authority(), FakeClock(), ttl_ms=0)
+
+
+class TestClientWithCache:
+    def make_cluster(self):
+        config = CarouselConfig(
+            mode=BASIC, directory_cache_ttl_ms=60_000.0,
+            client_retry_ms=800.0,
+            raft=RaftConfig(election_timeout_min_ms=400.0,
+                            election_timeout_max_ms=800.0,
+                            heartbeat_interval_ms=100.0))
+        cluster = CarouselCluster(
+            DeploymentSpec(seed=15, jitter_fraction=0.0), config)
+        cluster.run(500)
+        return cluster
+
+    def test_normal_transactions_work_with_cache(self):
+        cluster = self.make_cluster()
+        client = cluster.client("us-west")
+        assert isinstance(client.directory, DirectoryCache)
+        results = []
+        client.submit(TransactionSpec(
+            read_keys=("c1",), write_keys=("c1",),
+            compute_writes=lambda r: {"c1": 1}), results.append)
+        cluster.run(3000)
+        assert results and results[0].committed
+
+    def test_stale_cache_recovers_via_retry_invalidation(self):
+        cluster = self.make_cluster()
+        client = cluster.client("us-west")
+        # Warm the cache for every partition.
+        for pid in cluster.partition_ids:
+            client.directory.lookup(pid)
+        # Crash a remote partition leader; the cache still points at it.
+        key = None
+        for i in range(2000):
+            candidate = f"st{i}"
+            pid = cluster.ring.partition_for(candidate)
+            if cluster.directory.lookup(pid).leader_datacenter() != \
+                    "us-west":
+                key = candidate
+                break
+        victim = cluster.directory.lookup(pid).leader
+        FailureInjector(cluster.kernel, cluster.network).crash_now(victim)
+        cluster.run(3000)  # new leader elected; cache still stale
+        results = []
+        client.submit(TransactionSpec(
+            read_keys=(key,), write_keys=(key,),
+            compute_writes=lambda r, k=key: {k: 1}), results.append)
+        cluster.run(15_000)
+        # The first attempt stalls against the dead leader; the retry
+        # invalidates the cache, finds the new leader, and commits.
+        assert results and results[0].committed

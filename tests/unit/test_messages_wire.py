@@ -1,0 +1,65 @@
+"""Wire-format sanity tests: every protocol message sizes and carries the
+fields its handlers rely on."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import messages as carousel_msgs
+from repro.core import records as carousel_records
+from repro.layered import messages as layered_msgs
+from repro.raft import messages as raft_msgs
+from repro.sim.message import HEADER_BYTES, Message
+from repro.tapir import messages as tapir_msgs
+from repro.txn import TID
+
+
+def message_classes(module):
+    return [obj for obj in vars(module).values()
+            if isinstance(obj, type) and issubclass(obj, Message)
+            and obj is not Message]
+
+
+ALL_MESSAGE_MODULES = [carousel_msgs, layered_msgs, raft_msgs, tapir_msgs]
+
+
+@pytest.mark.parametrize("module", ALL_MESSAGE_MODULES)
+def test_every_message_is_a_dataclass_with_defaults(module):
+    for cls in message_classes(module):
+        assert dataclasses.is_dataclass(cls), cls
+        instance = cls()  # all fields must default
+        assert instance.size_bytes() >= HEADER_BYTES
+
+
+@pytest.mark.parametrize("module", ALL_MESSAGE_MODULES)
+def test_sizes_grow_with_payload(module):
+    for cls in message_classes(module):
+        small = cls().size_bytes()
+        # Fill any string-keyed dict/tuple field and re-measure.
+        fields = dataclasses.fields(cls)
+        kwargs = {}
+        for f in fields:
+            if f.name == "tid":
+                kwargs[f.name] = TID("some-long-client-name", 123456)
+        if kwargs:
+            big = cls(**kwargs).size_bytes()
+            assert big > small, cls
+
+
+def test_record_classes_are_frozen():
+    for module in (carousel_records,):
+        for name, cls in vars(module).items():
+            if dataclasses.is_dataclass(cls) and isinstance(cls, type):
+                params = cls.__dataclass_params__
+                assert params.frozen, f"{name} must be immutable"
+
+
+def test_append_entries_size_scales_with_entries():
+    from repro.raft.log import LogEntry
+    empty = raft_msgs.AppendEntries(group_id="g", term=1, leader_id="a")
+    full = raft_msgs.AppendEntries(
+        group_id="g", term=1, leader_id="a",
+        entries=[LogEntry(1, i, "command-payload" * 4)
+                 for i in range(1, 11)])
+    assert full.size_bytes() > empty.size_bytes() + 10 * len(
+        "command-payload" * 4)

@@ -1,0 +1,236 @@
+"""Unit tests for the simulated network and node base class."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+import pytest
+
+from repro.sim.kernel import Kernel
+from repro.sim.message import HEADER_BYTES, Message, wire_size
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.topology import ec2_five_regions, uniform_topology
+
+
+@dataclass
+class Ping(Message):
+    payload: str = "ping"
+
+
+@dataclass
+class BigPayload(Message):
+    data: bytes = b""
+
+
+class Recorder(Node):
+    """Test node that records (time, message) deliveries."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received: List = []
+
+    def handle_message(self, msg):
+        self.received.append((self.kernel.now, msg))
+
+
+def make_pair(jitter=0.0, service_time_ms=0.0, topo=None):
+    kernel = Kernel(seed=1)
+    topo = topo or ec2_five_regions()
+    net = Network(kernel, topo, jitter_fraction=jitter)
+    a = Recorder("a", "us-west", kernel, net)
+    b = Recorder("b", "us-east", kernel, net,
+                 service_time_ms=service_time_ms)
+    return kernel, net, a, b
+
+
+class TestWireSize:
+    def test_primitives(self):
+        assert wire_size(None) == 1
+        assert wire_size(True) == 1
+        assert wire_size(7) == 8
+        assert wire_size(3.14) == 8
+        assert wire_size("abcd") == 4
+        assert wire_size(b"abcde") == 5
+
+    def test_containers_recursive(self):
+        assert wire_size(["ab", 1]) == 4 + 2 + 8
+        assert wire_size({"k": "vv"}) == 4 + 1 + 2
+
+    def test_dataclass_message_size_includes_header(self):
+        msg = Ping()
+        assert msg.size_bytes() == HEADER_BYTES + len("ping")
+
+    def test_size_is_cached(self):
+        msg = BigPayload(data=b"x" * 1000)
+        first = msg.size_bytes()
+        msg.data = b""  # mutation after sizing must not change accounting
+        assert msg.size_bytes() == first
+
+
+class TestDelivery:
+    def test_cross_dc_delay_is_half_rtt(self):
+        kernel, net, a, b = make_pair()
+        a.send("b", Ping())
+        kernel.run()
+        assert len(b.received) == 1
+        at, _ = b.received[0]
+        assert at == pytest.approx(73.0 / 2)
+
+    def test_same_dc_delay_is_half_intra_rtt(self):
+        kernel = Kernel()
+        net = Network(kernel, ec2_five_regions(), jitter_fraction=0.0)
+        a = Recorder("a", "asia", kernel, net)
+        b = Recorder("b", "asia", kernel, net)
+        a.send("b", Ping())
+        kernel.run()
+        at, _ = b.received[0]
+        assert at == pytest.approx(0.25)
+
+    def test_jitter_only_increases_delay(self):
+        kernel = Kernel(seed=3)
+        net = Network(kernel, uniform_topology(2, 10.0), jitter_fraction=0.5)
+        a = Recorder("a", "dc0", kernel, net)
+        b = Recorder("b", "dc1", kernel, net)
+        for _ in range(20):
+            a.send("b", Ping())
+        kernel.run()
+        delays = [at for at, _ in b.received]
+        assert all(5.0 <= d <= 7.5 for d in delays)
+        assert len(set(delays)) > 1  # jitter actually varies
+
+    def test_unknown_destination_raises(self):
+        kernel, net, a, b = make_pair()
+        with pytest.raises(KeyError):
+            a.send("nope", Ping())
+
+    def test_duplicate_node_id_rejected(self):
+        kernel, net, a, b = make_pair()
+        with pytest.raises(ValueError, match="duplicate"):
+            Recorder("a", "us-west", kernel, net)
+
+    def test_unknown_datacenter_rejected(self):
+        kernel, net, a, b = make_pair()
+        with pytest.raises(ValueError, match="unknown"):
+            Recorder("z", "atlantis", kernel, net)
+
+    def test_message_stamped_with_src_dst(self):
+        kernel, net, a, b = make_pair()
+        a.send("b", Ping())
+        kernel.run()
+        _, msg = b.received[0]
+        assert msg.src == "a"
+        assert msg.dst == "b"
+        assert msg.sent_at == 0.0
+
+
+class TestCrashAndPartition:
+    def test_crashed_destination_drops_message(self):
+        kernel, net, a, b = make_pair()
+        b.crash()
+        a.send("b", Ping())
+        kernel.run()
+        assert b.received == []
+        assert net.messages_dropped == 1
+
+    def test_crashed_sender_drops_message(self):
+        kernel, net, a, b = make_pair()
+        a.crash()
+        a.send("b", Ping())
+        kernel.run()
+        assert b.received == []
+
+    def test_recovered_node_receives_again(self):
+        kernel, net, a, b = make_pair()
+        b.crash()
+        b.recover()
+        a.send("b", Ping())
+        kernel.run()
+        assert len(b.received) == 1
+
+    def test_crash_mid_flight_drops_message(self):
+        kernel, net, a, b = make_pair()
+        a.send("b", Ping())
+        kernel.schedule(1.0, b.crash)  # before 36.5 ms delivery
+        kernel.run()
+        assert b.received == []
+
+    def test_partition_blocks_both_directions(self):
+        kernel, net, a, b = make_pair()
+        net.partition("a", "b")
+        a.send("b", Ping())
+        b.send("a", Ping())
+        kernel.run()
+        assert a.received == [] and b.received == []
+
+    def test_heal_restores_delivery(self):
+        kernel, net, a, b = make_pair()
+        net.partition("a", "b")
+        net.heal("a", "b")
+        a.send("b", Ping())
+        kernel.run()
+        assert len(b.received) == 1
+
+    def test_timer_suppressed_while_crashed(self):
+        kernel, net, a, b = make_pair()
+        fired = []
+        a.set_timer(5.0, fired.append, "x")
+        a.crash()
+        kernel.run()
+        assert fired == []
+
+
+class TestCpuQueueModel:
+    def test_zero_service_time_processes_on_delivery(self):
+        kernel, net, a, b = make_pair()
+        a.send("b", Ping())
+        kernel.run()
+        assert b.messages_handled == 1
+
+    def test_messages_queue_fifo_with_service_time(self):
+        kernel, net, a, b = make_pair(service_time_ms=10.0)
+        for _ in range(3):
+            a.send("b", Ping())
+        kernel.run()
+        times = [at for at, _ in b.received]
+        # All arrive ~36.5 ms; service: first done ~46.5, then +10 each.
+        assert times[1] - times[0] == pytest.approx(10.0)
+        assert times[2] - times[1] == pytest.approx(10.0)
+
+    def test_queue_delay_reflects_backlog(self):
+        kernel, net, a, b = make_pair(service_time_ms=10.0)
+        for _ in range(5):
+            a.send("b", Ping())
+        kernel.run(until=37.0)
+        assert b.queue_delay_ms > 0
+
+
+class TestBandwidthAccounting:
+    def test_no_accounting_before_start(self):
+        kernel, net, a, b = make_pair()
+        a.send("b", Ping())
+        kernel.run()
+        assert net.account("a").bytes_sent == 0
+
+    def test_accounting_window(self):
+        kernel, net, a, b = make_pair()
+        net.start_accounting()
+        a.send("b", Ping())
+        kernel.run()
+        net.stop_accounting()
+        size = Ping().size_bytes()
+        assert net.account("a").bytes_sent == size
+        assert net.account("b").bytes_received == size
+        assert net.account("a").messages_sent == 1
+
+    def test_bandwidth_mbps(self):
+        kernel, net, a, b = make_pair()
+        net.start_accounting()
+        a.send("b", BigPayload(data=b"x" * 125_000))  # 1 Mbit payload
+        kernel.run(until=1000.0)
+        net.stop_accounting()
+        send_mbps, _ = net.bandwidth_mbps("a")
+        assert send_mbps == pytest.approx(1.0, rel=0.01)
+
+    def test_zero_window_rates_are_zero(self):
+        kernel, net, a, b = make_pair()
+        assert net.bandwidth_mbps("a") == (0.0, 0.0)

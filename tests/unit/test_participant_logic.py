@@ -1,0 +1,217 @@
+"""Unit tests for participant-side behaviour, driven through a small
+cluster with direct message injection."""
+
+import pytest
+
+from repro.bench.cluster import CarouselCluster, DeploymentSpec
+from repro.core.config import BASIC, FAST, CarouselConfig
+from repro.core.messages import (
+    PrepareQuery,
+    ReadPrepareRequest,
+    Writeback,
+)
+from repro.core.occ import ABORT, PREPARED
+from repro.sim.topology import uniform_topology
+from repro.txn import TID, TransactionSpec
+
+
+def make_cluster(mode=BASIC):
+    spec = DeploymentSpec(topology=uniform_topology(3, 2.0),
+                          n_partitions=3, seed=6, jitter_fraction=0.0)
+    cluster = CarouselCluster(spec, CarouselConfig(mode=mode))
+    cluster.run(200)
+    return cluster
+
+
+def leader_component(cluster, pid="p1"):
+    return cluster.leader_of(pid).partitions[pid]
+
+
+def rp_request(tid, pid, coordinator, reads=("k",), writes=("k",),
+               fast=False, want_read=True):
+    msg = ReadPrepareRequest(
+        tid=tid, partition_id=pid, coordinator_id=coordinator,
+        coord_group_id="p0", read_keys=tuple(reads),
+        write_keys=tuple(writes), want_read=want_read, fast_path=fast)
+    msg.src = "client-injected"
+    return msg
+
+
+class TestLeaderPrepare:
+    def test_prepare_adds_pending_and_replicates(self):
+        cluster = make_cluster()
+        component = leader_component(cluster)
+        coordinator = cluster.leader_of("p0").node_id
+        tid = TID("c", 1)
+        # Use a real client node id as the injected source.
+        msg = rp_request(tid, "p1", coordinator)
+        msg.src = cluster.clients[0].node_id
+        component.on_read_prepare(msg)
+        assert tid in component.pending
+        assert component.pending.get(tid).provisional
+        cluster.run(50)  # replication round trip
+        assert tid in component.prepare_log
+        assert not component.pending.get(tid).provisional
+        assert component.prepares_attempted == 1
+
+    def test_conflicting_prepare_rejected(self):
+        cluster = make_cluster()
+        component = leader_component(cluster)
+        coordinator = cluster.leader_of("p0").node_id
+        client = cluster.clients[0].node_id
+        first = rp_request(TID("c", 1), "p1", coordinator)
+        first.src = client
+        component.on_read_prepare(first)
+        second = rp_request(TID("c", 2), "p1", coordinator)
+        second.src = client
+        component.on_read_prepare(second)
+        cluster.run(50)
+        assert component.prepare_log[TID("c", 1)].decision == PREPARED
+        assert component.prepare_log[TID("c", 2)].decision == ABORT
+        assert component.prepares_rejected == 1
+
+    def test_retransmission_does_not_duplicate(self):
+        cluster = make_cluster()
+        component = leader_component(cluster)
+        coordinator = cluster.leader_of("p0").node_id
+        client = cluster.clients[0].node_id
+        tid = TID("c", 1)
+        for __ in range(3):
+            msg = rp_request(tid, "p1", coordinator)
+            msg.src = client
+            component.on_read_prepare(msg)
+        cluster.run(50)
+        assert component.prepares_attempted == 1
+        # Exactly one prepare record replicated for this tid.
+        member = component.member
+        prepare_entries = [
+            e for e in member.log.all_entries()
+            if getattr(e.command, "tid", None) == tid]
+        assert len(prepare_entries) == 1
+
+    def test_follower_ignores_non_fast_request(self):
+        cluster = make_cluster()
+        pid = "p1"
+        info = cluster.directory.lookup(pid)
+        follower_id = info.followers()[0]
+        follower = cluster.servers[follower_id].partitions[pid]
+        msg = rp_request(TID("c", 5), pid,
+                         cluster.leader_of("p0").node_id,
+                         want_read=False, fast=False)
+        msg.src = cluster.clients[0].node_id
+        follower.on_read_prepare(msg)
+        assert TID("c", 5) not in follower.pending
+        assert follower.fast_votes_cast == 0
+
+    def test_follower_fast_votes_and_tracks_provisional(self):
+        cluster = make_cluster(mode=FAST)
+        pid = "p1"
+        info = cluster.directory.lookup(pid)
+        follower_id = info.followers()[0]
+        follower = cluster.servers[follower_id].partitions[pid]
+        msg = rp_request(TID("c", 6), pid,
+                         cluster.leader_of("p0").node_id,
+                         want_read=False, fast=True)
+        msg.src = cluster.clients[0].node_id
+        follower.on_read_prepare(msg)
+        assert follower.fast_votes_cast == 1
+        entry = follower.pending.get(TID("c", 6))
+        assert entry is not None and entry.provisional
+
+
+class TestWriteback:
+    def test_commit_applies_once_despite_duplicates(self):
+        cluster = make_cluster()
+        pid = "p1"
+        component = leader_component(cluster, pid)
+        coordinator_server = cluster.leader_of("p0")
+        tid = TID("c", 9)
+        for __ in range(3):
+            wb = Writeback(tid=tid, partition_id=pid, decision="commit",
+                           writes={"wkey": "v"})
+            wb.src = coordinator_server.node_id
+            component.on_writeback(wb)
+            cluster.run(30)
+        assert component.store.read("wkey").value == "v"
+        assert component.store.read("wkey").version == 1
+        assert component.resolved[tid] == "commit"
+
+    def test_abort_writeback_clears_pending(self):
+        cluster = make_cluster()
+        pid = "p1"
+        component = leader_component(cluster, pid)
+        coordinator = cluster.leader_of("p0").node_id
+        client = cluster.clients[0].node_id
+        tid = TID("c", 10)
+        msg = rp_request(tid, pid, coordinator)
+        msg.src = client
+        component.on_read_prepare(msg)
+        cluster.run(30)
+        assert tid in component.pending
+        wb = Writeback(tid=tid, partition_id=pid, decision="abort")
+        wb.src = coordinator
+        component.on_writeback(wb)
+        cluster.run(30)
+        assert tid not in component.pending
+        assert component.resolved[tid] == "abort"
+
+    def test_writeback_before_prepare_blocks_late_prepare(self):
+        # An abort writeback can overtake the prepare; the late prepare
+        # must observe the resolution and answer ABORT.
+        cluster = make_cluster()
+        pid = "p1"
+        component = leader_component(cluster, pid)
+        coordinator = cluster.leader_of("p0").node_id
+        tid = TID("c", 11)
+        wb = Writeback(tid=tid, partition_id=pid, decision="abort")
+        wb.src = coordinator
+        component.on_writeback(wb)
+        cluster.run(30)
+        msg = rp_request(tid, pid, coordinator)
+        msg.src = cluster.clients[0].node_id
+        component.on_read_prepare(msg)
+        cluster.run(30)
+        assert tid not in component.pending
+
+
+class TestPrepareQuery:
+    def test_query_replays_known_decision(self):
+        cluster = make_cluster()
+        pid = "p1"
+        component = leader_component(cluster, pid)
+        coord_server = cluster.leader_of("p0")
+        client = cluster.clients[0].node_id
+        tid = TID("c", 12)
+        msg = rp_request(tid, pid, coord_server.node_id)
+        msg.src = client
+        component.on_read_prepare(msg)
+        cluster.run(50)
+        # Drop a fresh query at the leader: the coordinator's component on
+        # the p0 leader should receive (and record) the prepare result.
+        query = PrepareQuery(tid=tid, partition_id=pid,
+                             coordinator_id=coord_server.node_id,
+                             coord_group_id="p0",
+                             read_keys=("k",), write_keys=("k",))
+        query.src = coord_server.node_id
+        component.on_prepare_query(query)
+        cluster.run(30)
+        state = coord_server.coordinator.states.get(tid)
+        assert state is not None
+        assert state.decisions[pid][0] == PREPARED
+
+    def test_query_for_unknown_tid_prepares_fresh(self):
+        cluster = make_cluster()
+        pid = "p1"
+        component = leader_component(cluster, pid)
+        coord_server = cluster.leader_of("p0")
+        tid = TID("c", 13)
+        query = PrepareQuery(tid=tid, partition_id=pid,
+                             coordinator_id=coord_server.node_id,
+                             coord_group_id="p0",
+                             read_keys=("q",), write_keys=("q",))
+        query.src = coord_server.node_id
+        component.on_prepare_query(query)
+        cluster.run(50)
+        assert tid in component.prepare_log
+        state = coord_server.coordinator.states.get(tid)
+        assert state is not None and pid in state.decisions

@@ -1,0 +1,154 @@
+"""Edge-case tests: RaftHost routing, node CPU hooks, failure injector."""
+
+import pytest
+
+from repro.raft.messages import AppendEntries
+from repro.raft.node import RaftConfig, RaftHost, RaftMember
+from repro.sim.failure import FailureInjector
+from repro.sim.kernel import Kernel
+from repro.sim.message import Message
+from repro.sim.network import Network
+from repro.sim.topology import single_datacenter, uniform_topology
+from tests.support import PlainRaftHost, RaftCluster
+
+
+class TestRaftHostRouting:
+    def test_duplicate_group_rejected(self):
+        kernel = Kernel()
+        network = Network(kernel, single_datacenter(), jitter_fraction=0.0)
+        host = PlainRaftHost("h", "dc0", kernel, network)
+        RaftMember(host, "g", ["h"])
+        with pytest.raises(ValueError, match="already a member"):
+            RaftMember(host, "g", ["h"])
+
+    def test_host_must_be_group_member(self):
+        kernel = Kernel()
+        network = Network(kernel, single_datacenter(), jitter_fraction=0.0)
+        host = PlainRaftHost("h", "dc0", kernel, network)
+        with pytest.raises(ValueError, match="host must be"):
+            RaftMember(host, "g", ["other"])
+
+    def test_duplicate_member_ids_rejected(self):
+        kernel = Kernel()
+        network = Network(kernel, single_datacenter(), jitter_fraction=0.0)
+        host = PlainRaftHost("h", "dc0", kernel, network)
+        with pytest.raises(ValueError, match="duplicate member"):
+            RaftMember(host, "g", ["h", "h"])
+
+    def test_message_for_unknown_group_dropped(self):
+        kernel = Kernel()
+        network = Network(kernel, single_datacenter(), jitter_fraction=0.0)
+        host = PlainRaftHost("h", "dc0", kernel, network)
+        RaftMember(host, "g", ["h"])
+        other = PlainRaftHost("o", "dc0", kernel, network)
+        other.send("h", AppendEntries(group_id="nope", term=1,
+                                      leader_id="o"))
+        kernel.run()  # must not raise
+
+    def test_two_groups_on_one_host_are_independent(self):
+        kernel = Kernel(seed=2)
+        network = Network(kernel, uniform_topology(1, 1.0),
+                          jitter_fraction=0.0)
+        host = PlainRaftHost("h", "dc0", kernel, network)
+        config = RaftConfig(election_timeout_min_ms=100,
+                            election_timeout_max_ms=200,
+                            heartbeat_interval_ms=30)
+        applied = {"a": [], "b": []}
+        member_a = RaftMember(host, "a", ["h"], config=config,
+                              apply_fn=lambda e: applied["a"].append(
+                                  e.command), bootstrap_leader="h")
+        member_b = RaftMember(host, "b", ["h"], config=config,
+                              apply_fn=lambda e: applied["b"].append(
+                                  e.command), bootstrap_leader="h")
+        host.start_raft()
+        kernel.run(until=50)
+        member_a.propose("only-a")
+        member_b.propose("only-b")
+        kernel.run(until=100)
+        assert applied["a"] == ["only-a"]
+        assert applied["b"] == ["only-b"]
+
+
+class TestCrashRecoveryOfRaftState:
+    def test_crash_preserves_log_and_term(self):
+        cluster = RaftCluster(n=3, seed=4)
+        cluster.start()
+        cluster.run(100)
+        cluster.leader().propose("persist-me")
+        cluster.run(200)
+        n1 = cluster.members["n1"]
+        log_before = [e.command for e in n1.log.all_entries()]
+        term_before = n1.current_term
+        cluster.hosts["n1"].crash()
+        cluster.run(100)
+        cluster.hosts["n1"].recover()
+        assert [e.command for e in n1.log.all_entries()] == log_before
+        assert n1.current_term >= term_before
+
+    def test_crashed_leader_loses_volatile_leadership(self):
+        cluster = RaftCluster(n=3, seed=4)
+        cluster.start()
+        cluster.run(100)
+        leader = cluster.leader()
+        leader.host.crash()
+        assert not leader.is_leader
+
+
+class TestFailureInjector:
+    def test_log_records_actions(self):
+        kernel = Kernel()
+        network = Network(kernel, uniform_topology(2, 5.0),
+                          jitter_fraction=0.0)
+        a = PlainRaftHost("a", "dc0", kernel, network)
+        injector = FailureInjector(kernel, network)
+        injector.crash_at("a", 10.0)
+        injector.recover_at("a", 20.0)
+        kernel.run(until=30.0)
+        actions = [(action, subject) for __, action, subject
+                   in injector.log]
+        assert actions == [("crash", "a"), ("recover", "a")]
+        assert not a.crashed
+
+    def test_partition_and_heal(self):
+        kernel = Kernel()
+        network = Network(kernel, uniform_topology(2, 5.0),
+                          jitter_fraction=0.0)
+        PlainRaftHost("a", "dc0", kernel, network)
+        PlainRaftHost("b", "dc1", kernel, network)
+        injector = FailureInjector(kernel, network)
+        injector.partition_at(["a"], ["b"], 5.0)
+        injector.heal_at(["a"], ["b"], 15.0)
+        kernel.run(until=10.0)
+        assert network.is_partitioned("a", "b")
+        kernel.run(until=20.0)
+        assert not network.is_partitioned("a", "b")
+
+    def test_crash_now(self):
+        kernel = Kernel()
+        network = Network(kernel, uniform_topology(1, 1.0),
+                          jitter_fraction=0.0)
+        a = PlainRaftHost("a", "dc0", kernel, network)
+        FailureInjector(kernel, network).crash_now("a")
+        assert a.crashed
+
+
+class TestServiceTimeHook:
+    def test_subclass_hook_controls_queueing(self):
+        class Slow(PlainRaftHost):
+            def handle_app_message(self, msg):
+                self.handled_at = self.kernel.now
+
+            def service_time_for(self, msg):
+                return 7.0
+
+        class Probe(Message):
+            pass
+
+        kernel = Kernel()
+        network = Network(kernel, single_datacenter(), jitter_fraction=0.0)
+        slow = Slow("s", "dc0", kernel, network)
+        probe_sender = PlainRaftHost("p", "dc0", kernel, network)
+        probe_sender.send("s", Probe())
+        kernel.run()
+        # Delivery at 0.25 ms + 7 ms modeled service.
+        assert slow.handled_at == pytest.approx(7.25)

@@ -1,0 +1,82 @@
+"""Unit tests for the Raft log."""
+
+import pytest
+
+from repro.raft.log import LogEntry, RaftLog
+
+
+def entries(*pairs):
+    """Build entries from (term, index) pairs with dummy commands."""
+    return [LogEntry(term, index, f"cmd{index}") for term, index in pairs]
+
+
+class TestRaftLog:
+    def test_empty_log(self):
+        log = RaftLog()
+        assert log.last_index == 0
+        assert log.last_term == 0
+        assert log.term_at(0) == 0
+        assert log.term_at(1) is None
+
+    def test_append_new_assigns_indexes(self):
+        log = RaftLog()
+        e1 = log.append_new(1, "a")
+        e2 = log.append_new(1, "b")
+        assert (e1.index, e2.index) == (1, 2)
+        assert log.last_index == 2
+        assert log.last_term == 1
+
+    def test_entry_at(self):
+        log = RaftLog()
+        log.append_new(2, "x")
+        assert log.entry_at(1).command == "x"
+        with pytest.raises(IndexError):
+            log.entry_at(2)
+        with pytest.raises(IndexError):
+            log.entry_at(0)
+
+    def test_matches_sentinel(self):
+        assert RaftLog().matches(0, 0)
+
+    def test_matches_entry(self):
+        log = RaftLog()
+        log.append_new(3, "x")
+        assert log.matches(1, 3)
+        assert not log.matches(1, 2)
+        assert not log.matches(2, 3)
+
+    def test_entries_from(self):
+        log = RaftLog()
+        for i in range(5):
+            log.append_new(1, i)
+        assert [e.index for e in log.entries_from(3)] == [3, 4, 5]
+        assert log.entries_from(6) == []
+        assert [e.index for e in log.entries_from(0)] == [1, 2, 3, 4, 5]
+
+    def test_splice_appends_missing(self):
+        log = RaftLog()
+        log.splice(0, entries((1, 1), (1, 2)))
+        assert log.last_index == 2
+
+    def test_splice_keeps_matching_prefix(self):
+        log = RaftLog()
+        e1 = log.append_new(1, "keep")
+        log.splice(0, [LogEntry(1, 1, "ignored-duplicate"),
+                       LogEntry(1, 2, "new")])
+        assert log.entry_at(1).command == "keep"  # not overwritten
+        assert log.entry_at(2).command == "new"
+
+    def test_splice_truncates_on_conflict(self):
+        log = RaftLog()
+        log.append_new(1, "a")
+        log.append_new(1, "b")
+        log.append_new(1, "c")
+        log.splice(1, [LogEntry(2, 2, "B")])
+        assert log.last_index == 2
+        assert log.entry_at(2) == LogEntry(2, 2, "B")
+
+    def test_splice_empty_is_noop(self):
+        log = RaftLog()
+        log.append_new(1, "a")
+        log.splice(1, [])
+        assert log.last_index == 1

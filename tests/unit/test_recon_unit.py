@@ -1,0 +1,137 @@
+"""Unit tests for the reconnaissance runner against a scripted client."""
+
+import pytest
+
+from repro.core.recon import ReconnaissanceOutcome, ReconnaissanceRunner
+from repro.sim.kernel import Kernel
+from repro.txn import REASON_CONFLICT, TID, TxnResult
+
+
+class ScriptedClient:
+    """A fake transactional client: completes each submitted spec using a
+    scripted key-value snapshot, synchronously via the kernel."""
+
+    def __init__(self, kernel, data, fail_first_n=0):
+        self.kernel = kernel
+        self.data = data
+        self.fail_remaining = fail_first_n
+        self.submitted = []
+        self._seq = 0
+
+    def submit(self, spec, on_complete):
+        self._seq += 1
+        tid = TID("scripted", self._seq)
+        self.submitted.append(spec)
+        reads = {k: self.data.get(k) for k in spec.read_keys}
+
+        def finish():
+            if self.fail_remaining > 0:
+                self.fail_remaining -= 1
+                on_complete(TxnResult(tid, False, 1.0, REASON_CONFLICT,
+                                      spec.txn_type, reads))
+                return
+            writes = spec.run_write_function(reads)
+            if writes is None:
+                on_complete(TxnResult(tid, False, 1.0, "client_abort",
+                                      spec.txn_type, reads))
+                return
+            self.data.update(writes)
+            on_complete(TxnResult(tid, True, 1.0, "committed",
+                                  spec.txn_type, reads))
+
+        self.kernel.schedule(1.0, finish)
+        return tid
+
+
+def run_payment(kernel, client, runner, outcomes):
+    runner.run(
+        recon_keys=("idx",),
+        resolve_keys=lambda r: ((f"rec:{r['idx']}",),
+                                (f"rec:{r['idx']}",)) if r["idx"] else None,
+        compute_writes=lambda recon, reads: {
+            f"rec:{recon['idx']}": (reads[f"rec:{recon['idx']}"] or 0) + 1},
+        on_complete=outcomes.append)
+    kernel.run()
+
+
+class TestRunnerUnit:
+    def test_two_transactions_on_success(self):
+        kernel = Kernel()
+        client = ScriptedClient(kernel, {"idx": "7", "rec:7": 1})
+        runner = ReconnaissanceRunner(client, kernel)
+        outcomes = []
+        run_payment(kernel, client, runner, outcomes)
+        assert outcomes[0].committed
+        assert len(client.submitted) == 2
+        assert client.submitted[0].is_read_only  # the recon txn
+        assert client.data["rec:7"] == 2
+
+    def test_main_txn_rereads_recon_keys(self):
+        kernel = Kernel()
+        client = ScriptedClient(kernel, {"idx": "7", "rec:7": 1})
+        runner = ReconnaissanceRunner(client, kernel)
+        outcomes = []
+        run_payment(kernel, client, runner, outcomes)
+        main_spec = client.submitted[1]
+        assert "idx" in main_spec.read_keys  # revalidation read
+
+    def test_retries_on_abort_then_succeeds(self):
+        kernel = Kernel()
+        client = ScriptedClient(kernel, {"idx": "7", "rec:7": 0},
+                                fail_first_n=2)
+        runner = ReconnaissanceRunner(client, kernel, max_attempts=3,
+                                      retry_backoff_ms=5.0)
+        outcomes = []
+        run_payment(kernel, client, runner, outcomes)
+        assert outcomes[0].committed
+        assert outcomes[0].attempts > 1
+
+    def test_exhausts_attempts(self):
+        kernel = Kernel()
+        client = ScriptedClient(kernel, {"idx": "7", "rec:7": 0},
+                                fail_first_n=99)
+        runner = ReconnaissanceRunner(client, kernel, max_attempts=2,
+                                      retry_backoff_ms=5.0)
+        outcomes = []
+        run_payment(kernel, client, runner, outcomes)
+        assert not outcomes[0].committed
+        assert outcomes[0].attempts == 2
+
+    def test_unresolvable_reports_abort_without_main_txn(self):
+        kernel = Kernel()
+        client = ScriptedClient(kernel, {"idx": None})
+        runner = ReconnaissanceRunner(client, kernel)
+        outcomes = []
+        run_payment(kernel, client, runner, outcomes)
+        assert not outcomes[0].committed
+        assert len(client.submitted) == 1  # recon only
+
+    def test_revalidation_catches_index_move(self):
+        kernel = Kernel()
+        data = {"idx": "7", "rec:7": 1, "rec:8": 5}
+        client = ScriptedClient(kernel, data)
+        runner = ReconnaissanceRunner(client, kernel, retry_backoff_ms=5.0)
+
+        # Move the index entry between the recon and the main txn.
+        original_submit = client.submit
+        state = {"moved": False}
+
+        def tampering_submit(spec, on_complete):
+            tid = original_submit(spec, on_complete)
+            if not state["moved"] and not spec.is_read_only:
+                pass
+            if not state["moved"] and spec.is_read_only:
+                # After the recon read is scheduled, flip the index.
+                kernel.schedule(0.5, lambda: data.update({"idx": "8"}))
+                state["moved"] = True
+            return tid
+
+        client.submit = tampering_submit
+        outcomes = []
+        run_payment(kernel, client, runner, outcomes)
+        outcome = outcomes[0]
+        assert outcome.committed
+        assert outcome.attempts == 2  # first pair failed revalidation
+        assert runner.revalidation_failures == 1
+        assert data["rec:8"] == 6  # applied against the *new* id
+        assert data["rec:7"] == 1  # old record untouched

@@ -1,0 +1,140 @@
+"""Unit tests for the CPC leader-recovery helpers (§4.3.3)."""
+
+import pytest
+
+from repro.core.occ import PREPARED, PendingTxn, freeze_versions
+from repro.core.recovery import (
+    conflicts_between,
+    filter_candidates,
+    find_fast_path_candidates,
+    majority_of,
+    select_candidate_lists,
+)
+from repro.txn import TID
+
+
+def entry(seq, reads=(), writes=(), versions=None, term=1):
+    versions = versions if versions is not None else {k: 0 for k in reads}
+    return PendingTxn(TID("c", seq), frozenset(reads), frozenset(writes),
+                      freeze_versions(versions), term, "coord",
+                      provisional=True)
+
+
+class TestMajority:
+    def test_values(self):
+        assert majority_of(1) == 1
+        assert majority_of(2) == 2
+        assert majority_of(3) == 2
+        assert majority_of(5) == 3
+
+
+class TestSelectCandidateLists:
+    def test_truncates_to_f_plus_one(self):
+        own = (entry(1),)
+        payloads = {"v1": (entry(2),), "v2": (entry(3),),
+                    "v3": (entry(4),)}
+        lists = select_candidate_lists(own, payloads, "me", f=1)
+        assert len(lists) == 2  # f + 1
+        assert lists[0][0] == "me"
+
+    def test_none_payload_treated_as_empty(self):
+        lists = select_candidate_lists((), {"v1": None}, "me", f=1)
+        assert lists[1] == ("v1", ())
+
+    def test_own_payload_not_duplicated(self):
+        own = (entry(1),)
+        payloads = {"me": own, "v1": (entry(2),)}
+        lists = select_candidate_lists(own, payloads, "me", f=1)
+        assert [voter for voter, __ in lists] == ["me", "v1"]
+
+
+class TestFindCandidates:
+    def test_requires_majority_support(self):
+        e = entry(1, reads=("a",))
+        lists = [("v1", (e,)), ("v2", ()), ("v3", ())]
+        assert find_fast_path_candidates(lists) == []
+
+    def test_majority_support_found(self):
+        e = entry(1, reads=("a",))
+        lists = [("v1", (e,)), ("v2", (e,)), ("v3", ())]
+        assert [c.tid for c in find_fast_path_candidates(lists)] == [e.tid]
+
+    def test_version_mismatch_not_pooled(self):
+        e1 = entry(1, reads=("a",), versions={"a": 0})
+        e2 = entry(1, reads=("a",), versions={"a": 5})
+        lists = [("v1", (e1,)), ("v2", (e2,)), ("v3", ())]
+        # Same tid but different versions: neither variant has majority.
+        assert find_fast_path_candidates(lists) == []
+
+    def test_term_mismatch_not_pooled(self):
+        e1 = entry(1, reads=("a",), term=1)
+        e2 = entry(1, reads=("a",), term=2)
+        lists = [("v1", (e1,)), ("v2", (e2,))]
+        assert find_fast_path_candidates(lists) == []
+
+    def test_single_list_majority_is_itself(self):
+        e = entry(1)
+        assert find_fast_path_candidates([("v1", (e,))]) == [e]
+
+    def test_deterministic_order(self):
+        e1, e2 = entry(1, writes=("x",)), entry(2, writes=("y",))
+        lists = [("v1", (e2, e1)), ("v2", (e1, e2))]
+        candidates = find_fast_path_candidates(lists)
+        assert [c.tid.seq for c in candidates] == [1, 2]
+
+
+class TestConflictsBetween:
+    def test_write_write(self):
+        assert conflicts_between(entry(1, writes=("k",)),
+                                 entry(2, writes=("k",)))
+
+    def test_read_write(self):
+        assert conflicts_between(entry(1, reads=("k",)),
+                                 entry(2, writes=("k",)))
+        assert conflicts_between(entry(1, writes=("k",)),
+                                 entry(2, reads=("k",)))
+
+    def test_read_read_no_conflict(self):
+        assert not conflicts_between(entry(1, reads=("k",)),
+                                     entry(2, reads=("k",)))
+
+    def test_disjoint(self):
+        assert not conflicts_between(entry(1, reads=("a",), writes=("b",)),
+                                     entry(2, reads=("c",), writes=("d",)))
+
+
+class TestFilterCandidates:
+    def current(self, versions):
+        return lambda keys: {k: versions.get(k, 0) for k in keys}
+
+    def test_stale_versions_rejected(self):
+        candidate = entry(1, reads=("k",), versions={"k": 1})
+        accepted = filter_candidates([candidate], [], self.current({"k": 2}))
+        assert accepted == []
+
+    def test_fresh_versions_accepted(self):
+        candidate = entry(1, reads=("k",), versions={"k": 2})
+        accepted = filter_candidates([candidate], [], self.current({"k": 2}))
+        assert accepted == [candidate]
+
+    def test_conflict_with_slow_path_rejected(self):
+        candidate = entry(1, writes=("k",))
+        slow = entry(9, writes=("k",))
+        assert filter_candidates([candidate], [slow],
+                                 self.current({})) == []
+
+    def test_self_in_slow_path_not_a_conflict(self):
+        candidate = entry(1, writes=("k",))
+        assert filter_candidates([candidate], [candidate],
+                                 self.current({})) == [candidate]
+
+    def test_mutual_conflicts_resolved_greedily_by_tid(self):
+        a = entry(1, writes=("k",))
+        b = entry(2, writes=("k",))
+        accepted = filter_candidates([b, a], [], self.current({}))
+        assert [c.tid.seq for c in accepted] == [1]
+
+    def test_non_conflicting_all_accepted(self):
+        a = entry(1, writes=("x",))
+        b = entry(2, writes=("y",))
+        assert len(filter_candidates([a, b], [], self.current({}))) == 2

@@ -1,0 +1,116 @@
+"""Unit tests for report rendering and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.bench.report import (
+    format_table,
+    latency_summary_rows,
+    render_bandwidth,
+    render_cdf,
+    render_latency_table,
+    render_throughput_sweep,
+)
+from repro.cli import build_parser, main
+from repro.sim.stats import LatencyRecorder
+
+
+def recorder_with(values, name="x"):
+    rec = LatencyRecorder(name)
+    for v in values:
+        rec.record(v)
+    return rec
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["a", "long-header"], [["1", "2"]])
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert "long-header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_cells_stringified(self):
+        out = format_table(["n"], [[42], [3.5]])
+        assert "42" in out and "3.5" in out
+
+    def test_wide_cells_expand_column(self):
+        out = format_table(["x"], [["wider-than-header"]])
+        header, sep, row = out.splitlines()
+        assert len(sep) >= len("wider-than-header")
+
+
+class TestLatencyRendering:
+    def test_summary_rows(self):
+        rows = latency_summary_rows({
+            "sys": recorder_with([10.0, 20.0, 30.0])})
+        assert rows[0][0] == "sys"
+        assert rows[0][1] == "3"
+        assert rows[0][2] == "20"
+
+    def test_render_latency_table(self):
+        out = render_latency_table({"sys": recorder_with([1.0, 2.0])})
+        assert "median (ms)" in out and "sys" in out
+
+    def test_render_cdf_series(self):
+        out = render_cdf({"sys": recorder_with([1.0, 2.0, 3.0])},
+                         points=2)
+        assert out.startswith("sys:")
+        assert "1.00)" in out  # reaches cumulative 1.0
+
+
+class TestSweepRendering:
+    def test_rows_per_point(self):
+        out = render_throughput_sweep(
+            {"alpha": [(1000.0, 950.0, 0.05), (2000.0, 1700.0, 0.15)]})
+        assert out.count("alpha") == 2
+        assert "5.0%" in out and "15.0%" in out
+
+
+class TestBandwidthRendering:
+    def test_all_roles_present(self):
+        out = render_bandwidth({"sys": {
+            "client_send": 1.0, "client_recv": 2.0,
+            "leader_send": 3.0, "leader_recv": 4.0,
+            "follower_send": 5.0, "follower_recv": 6.0}})
+        for value in ("1.00", "2.00", "3.00", "4.00", "5.00", "6.00"):
+            assert value in out
+
+    def test_missing_roles_default_zero(self):
+        out = render_bandwidth({"sys": {}})
+        assert "0.00" in out
+
+
+class TestCli:
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.scale == "quick"
+        assert args.json is None
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "115" in out  # asia-australia RTT
+
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "load_timeline" in out
+
+    def test_trace_basic_runs(self, capsys):
+        assert main(["trace-basic"]) == 0
+        out = capsys.readouterr().out
+        assert "ReadPrepareRequest" in out
+        assert "TxnReply" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "t1.json"
+        assert main(["table1", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["us-west-us-east"] == 73.0

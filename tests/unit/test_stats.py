@@ -1,0 +1,148 @@
+"""Unit tests for measurement utilities."""
+
+import pytest
+
+from repro.sim.stats import LatencyRecorder, SeriesRecorder, percentile
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_single_value(self):
+        assert percentile([42.0], 0) == 42.0
+        assert percentile([42.0], 100) == 42.0
+
+    def test_median_odd(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_unsorted_input_ok(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+
+class TestLatencyRecorder:
+    def test_record_and_summary(self):
+        rec = LatencyRecorder("test")
+        for v in [10.0, 20.0, 30.0]:
+            rec.record(v)
+        summary = rec.summary()
+        assert summary["count"] == 3
+        assert summary["median_ms"] == 20.0
+        assert summary["mean_ms"] == 20.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1.0)
+
+    def test_window_excludes_outside_samples(self):
+        rec = LatencyRecorder()
+        rec.set_window(100.0, 200.0)
+        rec.record(5.0, at_ms=50.0)    # before window
+        rec.record(6.0, at_ms=150.0)   # inside
+        rec.record(7.0, at_ms=250.0)   # after window
+        assert rec.samples == [6.0]
+
+    def test_window_boundaries_inclusive(self):
+        rec = LatencyRecorder()
+        rec.set_window(100.0, 200.0)
+        rec.record(1.0, at_ms=100.0)
+        rec.record(2.0, at_ms=200.0)
+        assert rec.count == 2
+
+    def test_no_timestamp_always_recorded_despite_window(self):
+        rec = LatencyRecorder()
+        rec.set_window(100.0, 200.0)
+        rec.record(1.0)
+        assert rec.count == 1
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().set_window(10.0, 5.0)
+
+    def test_cdf_is_monotone_and_ends_at_one(self):
+        rec = LatencyRecorder()
+        for v in [3.0, 1.0, 2.0, 2.0]:
+            rec.record(v)
+        cdf = rec.cdf()
+        xs = [x for x, _ in cdf]
+        ys = [y for _, y in cdf]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_cdf_downsampling_keeps_last_point(self):
+        rec = LatencyRecorder()
+        for i in range(1000):
+            rec.record(float(i))
+        cdf = rec.cdf(points=50)
+        assert len(cdf) <= 52
+        assert cdf[-1] == (999.0, 1.0)
+
+    def test_cdf_empty(self):
+        assert LatencyRecorder().cdf() == []
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().mean()
+
+
+class TestSeriesRecorder:
+    def test_counts(self):
+        rec = SeriesRecorder()
+        rec.record("committed")
+        rec.record("committed")
+        rec.record("aborted")
+        assert rec.count("committed") == 2
+        assert rec.total() == 3
+        assert rec.total(["aborted"]) == 1
+
+    def test_window_filtering(self):
+        rec = SeriesRecorder()
+        rec.set_window(10.0, 20.0)
+        rec.record("committed", at_ms=5.0)
+        rec.record("committed", at_ms=15.0)
+        assert rec.count("committed") == 1
+
+    def test_rate_per_second(self):
+        rec = SeriesRecorder()
+        rec.set_window(0.0, 2000.0)
+        for __ in range(100):
+            rec.record("committed", at_ms=1000.0)
+        assert rec.rate_per_second("committed") == 50.0
+
+    def test_rate_without_window_raises(self):
+        rec = SeriesRecorder()
+        rec.record("committed")
+        with pytest.raises(ValueError):
+            rec.rate_per_second("committed")
+
+    def test_fraction(self):
+        rec = SeriesRecorder()
+        rec.record("aborted")
+        rec.record("committed")
+        rec.record("committed")
+        rec.record("committed")
+        assert rec.fraction("aborted") == 0.25
+        assert rec.fraction("aborted", of=["aborted", "committed"]) == 0.25
+
+    def test_fraction_zero_denominator(self):
+        assert SeriesRecorder().fraction("aborted") == 0.0
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            SeriesRecorder().set_window(5.0, 1.0)

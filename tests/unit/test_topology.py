@@ -1,0 +1,90 @@
+"""Unit tests for topologies, including the paper's Table 1 matrix."""
+
+import pytest
+
+from repro.sim.topology import (
+    EC2_FIVE_REGIONS,
+    FIVE_REGIONS,
+    TABLE_1_RTT_MS,
+    Topology,
+    ec2_five_regions,
+    single_datacenter,
+    uniform_topology,
+)
+
+
+class TestTable1Matrix:
+    """Check the shipped matrix against Table 1 of the paper."""
+
+    @pytest.mark.parametrize("pair, rtt", sorted(TABLE_1_RTT_MS.items()))
+    def test_rtt_matches_table(self, pair, rtt):
+        a, b = pair
+        assert EC2_FIVE_REGIONS.rtt(a, b) == rtt
+        assert EC2_FIVE_REGIONS.rtt(b, a) == rtt
+
+    def test_five_regions_present(self):
+        assert set(EC2_FIVE_REGIONS.datacenters) == set(FIVE_REGIONS)
+
+    def test_specific_values_from_paper(self):
+        assert EC2_FIVE_REGIONS.rtt("us-west", "us-east") == 73.0
+        assert EC2_FIVE_REGIONS.rtt("europe", "australia") == 290.0
+        assert EC2_FIVE_REGIONS.rtt("asia", "australia") == 115.0
+
+    def test_one_way_is_half_rtt(self):
+        assert EC2_FIVE_REGIONS.one_way("us-west", "us-east") == 36.5
+
+
+class TestTopology:
+    def test_same_dc_uses_intra_dc_rtt(self):
+        topo = ec2_five_regions(intra_dc_rtt_ms=0.5)
+        assert topo.rtt("europe", "europe") == 0.5
+
+    def test_missing_pair_raises(self):
+        with pytest.raises(ValueError, match="missing RTT"):
+            Topology(["a", "b", "c"], {("a", "b"): 1.0, ("a", "c"): 1.0})
+
+    def test_unknown_datacenter_in_pair_raises(self):
+        with pytest.raises(ValueError, match="unknown datacenter"):
+            Topology(["a", "b"], {("a", "zzz"): 1.0})
+
+    def test_duplicate_datacenter_raises(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Topology(["a", "a"], {})
+
+    def test_negative_rtt_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            Topology(["a", "b"], {("a", "b"): -1.0})
+
+    def test_contains(self):
+        assert "asia" in EC2_FIVE_REGIONS
+        assert "mars" not in EC2_FIVE_REGIONS
+
+    def test_nearest_prefers_origin(self):
+        near = EC2_FIVE_REGIONS.nearest("asia", ["europe", "asia", "us-west"])
+        assert near == "asia"
+
+    def test_nearest_by_rtt(self):
+        # From us-east: us-west is 73 ms vs europe 88 ms vs asia 172 ms.
+        near = EC2_FIVE_REGIONS.nearest("us-east",
+                                        ["asia", "europe", "us-west"])
+        assert near == "us-west"
+
+    def test_nearest_empty_candidates_raises(self):
+        with pytest.raises(ValueError):
+            EC2_FIVE_REGIONS.nearest("asia", [])
+
+
+class TestUniformTopology:
+    def test_local_cluster_setup(self):
+        # The paper's local cluster: 5 simulated DCs at 5 ms RTT (§6.4).
+        topo = uniform_topology(5, 5.0)
+        assert len(topo.datacenters) == 5
+        for a in topo.datacenters:
+            for b in topo.datacenters:
+                if a != b:
+                    assert topo.rtt(a, b) == 5.0
+
+    def test_single_datacenter(self):
+        topo = single_datacenter("only")
+        assert topo.datacenters == ["only"]
+        assert topo.rtt("only", "only") == 0.5

@@ -1,0 +1,62 @@
+"""Unit tests for the protocol-trace capture used by Figures 2 and 3."""
+
+import pytest
+
+from repro.bench.traces import (
+    TracedMessage,
+    message_types,
+    render_trace,
+    trace_transaction,
+)
+from repro.core.config import BASIC, FAST
+
+
+@pytest.fixture(scope="module")
+def basic_trace():
+    return trace_transaction(mode=BASIC, seed=7)
+
+
+class TestTraceCapture:
+    def test_trace_nonempty_and_ordered(self, basic_trace):
+        assert basic_trace
+        times = [m.sent_at_ms for m in basic_trace]
+        assert times == sorted(times)
+
+    def test_raft_messages_filtered_by_default(self, basic_trace):
+        assert not any(m.msg_type.startswith("AppendEntries")
+                       or m.msg_type.startswith("RequestVote")
+                       for m in basic_trace)
+
+    def test_raft_messages_included_on_request(self):
+        trace = trace_transaction(mode=BASIC, seed=7, include_raft=True)
+        assert any(m.msg_type == "AppendEntries" for m in trace)
+
+    def test_cross_dc_flag(self, basic_trace):
+        assert any(m.cross_dc for m in basic_trace)
+        assert any(not m.cross_dc for m in basic_trace)
+
+    def test_message_types_helper(self, basic_trace):
+        types = message_types(basic_trace)
+        assert len(types) == len(basic_trace)
+        assert "TxnReply" in types
+
+    def test_render_contains_title_and_rows(self, basic_trace):
+        out = render_trace(basic_trace[:2], "My Title")
+        lines = out.splitlines()
+        assert lines[0] == "My Title"
+        assert len(lines) == 4  # title + underline + 2 messages
+
+    def test_traced_message_str(self):
+        msg = TracedMessage(1.5, "a", "b", "Ping", cross_dc=True)
+        text = str(msg)
+        assert "Ping" in text and "WAN" in text
+
+    def test_fast_mode_has_fast_votes(self):
+        trace = trace_transaction(mode=FAST, seed=7)
+        assert "FastVote" in message_types(trace)
+
+    def test_trace_hook_removed_after_capture(self):
+        # A second trace must not raise or duplicate messages.
+        first = trace_transaction(mode=BASIC, seed=9)
+        second = trace_transaction(mode=BASIC, seed=9)
+        assert message_types(first) == message_types(second)

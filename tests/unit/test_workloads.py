@@ -1,0 +1,172 @@
+"""Unit tests for workload generators."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.txn import TransactionSpec
+from repro.workloads.retwis import RETWIS_MIX, RetwisWorkload, bump_counter
+from repro.workloads.ycsbt import YcsbTWorkload
+from repro.workloads.zipf import ZipfianGenerator, zeta
+
+
+class TestZipf:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=0.0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+
+    def test_values_in_range(self):
+        gen = ZipfianGenerator(100, rng=random.Random(1))
+        for __ in range(2000):
+            assert 0 <= gen.next() < 100
+
+    def test_rank_zero_most_popular(self):
+        gen = ZipfianGenerator(1000, theta=0.75, rng=random.Random(2))
+        counts = Counter(gen.next() for __ in range(20000))
+        assert counts[0] == max(counts.values())
+        # Popularity decays with rank.
+        assert counts[0] > counts.get(100, 0) > counts.get(900, -1)
+
+    def test_skew_increases_with_theta(self):
+        low = ZipfianGenerator(1000, theta=0.5, rng=random.Random(3))
+        high = ZipfianGenerator(1000, theta=0.95, rng=random.Random(3))
+        low_counts = Counter(low.next() for __ in range(20000))
+        high_counts = Counter(high.next() for __ in range(20000))
+        assert high_counts[0] > low_counts[0]
+
+    def test_deterministic_given_rng(self):
+        a = ZipfianGenerator(500, rng=random.Random(9))
+        b = ZipfianGenerator(500, rng=random.Random(9))
+        assert [a.next() for __ in range(100)] == \
+            [b.next() for __ in range(100)]
+
+    def test_distinct_keys(self):
+        gen = ZipfianGenerator(50, rng=random.Random(4))
+        keys = gen.distinct_keys(10)
+        assert len(keys) == len(set(keys)) == 10
+
+    def test_distinct_keys_more_than_n_rejected(self):
+        gen = ZipfianGenerator(3, rng=random.Random(4))
+        with pytest.raises(ValueError):
+            gen.distinct_keys(4)
+
+    def test_zeta_cached_and_correct(self):
+        assert zeta(1, 0.75) == 1.0
+        assert zeta(2, 0.5) == pytest.approx(1.0 + 2 ** -0.5)
+
+
+class TestBumpCounter:
+    def test_increments_padded(self):
+        assert bump_counter("0001", 4) == "0002"
+
+    def test_none_starts_at_one(self):
+        assert bump_counter(None, 3) == "001"
+
+    def test_garbage_resets(self):
+        assert bump_counter("not-a-number", 2) == "01"
+
+
+class TestRetwis:
+    def test_mix_matches_table_2(self):
+        wl = RetwisWorkload(n_keys=10_000, seed=5)
+        counts = Counter(wl.next_spec().txn_type for __ in range(20000))
+        total = sum(counts.values())
+        assert counts["add_user"] / total == pytest.approx(0.05, abs=0.01)
+        assert counts["follow_unfollow"] / total == \
+            pytest.approx(0.15, abs=0.01)
+        assert counts["post_tweet"] / total == pytest.approx(0.30, abs=0.015)
+        assert counts["load_timeline"] / total == \
+            pytest.approx(0.50, abs=0.015)
+
+    def test_shapes_match_table_2(self):
+        wl = RetwisWorkload(n_keys=10_000, seed=6)
+        seen = set()
+        for __ in range(2000):
+            spec = wl.next_spec()
+            seen.add(spec.txn_type)
+            if spec.txn_type == "add_user":
+                assert len(spec.read_keys) == 1 and len(spec.write_keys) == 3
+            elif spec.txn_type == "follow_unfollow":
+                assert len(spec.read_keys) == 2 and len(spec.write_keys) == 2
+            elif spec.txn_type == "post_tweet":
+                assert len(spec.read_keys) == 3 and len(spec.write_keys) == 5
+            else:
+                assert 1 <= len(spec.read_keys) <= 10
+                assert spec.is_read_only
+        assert seen == {"add_user", "follow_unfollow", "post_tweet",
+                        "load_timeline"}
+
+    def test_average_keys_about_4_5(self):
+        # The paper: each Retwis transaction touches ~4.5 keys on average.
+        wl = RetwisWorkload(n_keys=10_000, seed=7)
+        total = 0
+        n = 5000
+        for __ in range(n):
+            spec = wl.next_spec()
+            total += len(spec.all_keys())
+        assert total / n == pytest.approx(4.5, abs=0.3)
+
+    def test_write_function_increments_and_pads(self):
+        wl = RetwisWorkload(n_keys=100, value_size=8, seed=8)
+        spec = None
+        while spec is None or spec.txn_type != "follow_unfollow":
+            spec = wl.next_spec()
+        reads = {k: "00000004" for k in spec.read_keys}
+        writes = spec.run_write_function(reads)
+        assert set(writes) == set(spec.write_keys)
+        assert all(v == "00000005" for v in writes.values())
+
+    def test_write_function_rejects_undeclared_keys(self):
+        spec = TransactionSpec(read_keys=("a",), write_keys=("a",),
+                               compute_writes=lambda r: {"zzz": 1})
+        with pytest.raises(ValueError, match="outside the declared"):
+            spec.run_write_function({"a": None})
+
+
+class TestYcsbT:
+    def test_four_rmw_ops(self):
+        wl = YcsbTWorkload(n_keys=10_000, seed=9)
+        for __ in range(200):
+            spec = wl.next_spec()
+            assert spec.txn_type == "ycsbt_rmw"
+            assert len(spec.read_keys) == 4
+            assert spec.read_keys == spec.write_keys
+            assert not spec.is_read_only
+
+    def test_configurable_ops(self):
+        wl = YcsbTWorkload(n_keys=1000, ops_per_txn=2, seed=9)
+        assert len(wl.next_spec().read_keys) == 2
+        with pytest.raises(ValueError):
+            YcsbTWorkload(ops_per_txn=0)
+
+    def test_write_function_increments(self):
+        wl = YcsbTWorkload(n_keys=1000, value_size=4, seed=10)
+        spec = wl.next_spec()
+        writes = spec.run_write_function({k: "0009" for k in spec.read_keys})
+        assert all(v == "0010" for v in writes.values())
+
+
+class TestTransactionSpec:
+    def test_deduplicates_keys(self):
+        spec = TransactionSpec(read_keys=("a", "a", "b"),
+                               write_keys=("b", "b"))
+        assert spec.read_keys == ("a", "b")
+        assert spec.write_keys == ("b",)
+
+    def test_all_keys_union(self):
+        spec = TransactionSpec(read_keys=("a", "b"), write_keys=("b", "c"))
+        assert spec.all_keys() == ("a", "b", "c")
+
+    def test_default_write_function(self):
+        spec = TransactionSpec(read_keys=(), write_keys=("x",))
+        assert spec.run_write_function({}) == {"x": None}
+
+    def test_read_only_flag(self):
+        assert TransactionSpec(read_keys=("a",), write_keys=()).is_read_only
+        assert not TransactionSpec(read_keys=(), write_keys=("a",)
+                                   ).is_read_only
