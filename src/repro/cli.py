@@ -6,6 +6,8 @@ Usage::
     python -m repro table2
     python -m repro trace-basic          # Figure 2
     python -m repro trace-cpc            # Figure 3 (a and b)
+    python -m repro trace --system basic # full span/WANRT trace
+
     python -m repro fig4 [--scale full]
     python -m repro fig5 [--scale full]  # shares the sweep with fig6
     python -m repro fig6 [--scale full]
@@ -70,6 +72,23 @@ def cmd_table2(args) -> None:
 def cmd_trace_basic(args) -> None:
     trace = trace_transaction(mode=BASIC, seed=42)
     print(render_trace(trace, "Figure 2: Carousel basic protocol"))
+
+
+def cmd_trace(args) -> None:
+    from repro.trace.export import render_timeline, to_chrome_trace
+    from repro.trace.harness import run_traced
+    from repro.trace.invariants import check_transaction
+
+    if args.txn_id < 1:
+        raise SystemExit("--txn-id must be >= 1")
+    run = run_traced(args.system, n_txns=args.txn_id,
+                     read_only=args.read_only,
+                     force_slow_path=args.slow_path)
+    txn = run.txn_traces[args.txn_id - 1]
+    print(render_timeline(txn))
+    print()
+    print(check_transaction(txn))
+    _emit_json(args.json, to_chrome_trace(run.tracer))
 
 
 def cmd_trace_cpc(args) -> None:
@@ -152,6 +171,7 @@ COMMANDS = {
     "table2": cmd_table2,
     "trace-basic": cmd_trace_basic,
     "trace-cpc": cmd_trace_cpc,
+    "trace": cmd_trace,
     "fig4": cmd_fig4,
     "fig5": cmd_fig5,
     "fig6": cmd_fig6,
@@ -172,6 +192,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="quick (default) or paper-length runs")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write measured series to a JSON file")
+    parser.add_argument("--system", choices=["basic", "fast", "tapir",
+                                             "layered"],
+                        default="basic",
+                        help="(trace) protocol variant to trace")
+    parser.add_argument("--txn-id", type=int, default=1, metavar="N",
+                        help="(trace) run N transactions and show the Nth")
+    parser.add_argument("--read-only", action="store_true",
+                        help="(trace) trace a read-only transaction")
+    parser.add_argument("--slow-path", action="store_true",
+                        help="(trace) force TAPIR's IR slow path")
     return parser
 
 

@@ -33,6 +33,7 @@ from repro.core.messages import (
 )
 from repro.sim.message import Message
 from repro.sim.node import Node
+from repro.trace.tracer import SPAN_COMMIT, SPAN_READ, SPAN_READ_ONLY
 from repro.store.directory import DirectoryCache, DirectoryService
 from repro.store.partitioning import Partitioner
 from repro.txn import (
@@ -74,6 +75,8 @@ class _ClientTxn:
     heartbeat_timer: Any = None
     retry_timer: Any = None
     retries: int = 0
+    #: Tracing: the currently-open client phase span (read/commit).
+    phase_span: Any = None
 
 
 class CarouselClient(Node):
@@ -115,15 +118,25 @@ class CarouselClient(Node):
                          started_ms=self.kernel.now)
         self._active[tid] = txn
         self.submitted += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.txn_begin(tid, system="carousel-" + self.config.mode,
+                             client=self.node_id, dc=self.dc)
         self._build_participants(txn)
         if not txn.participants:
             self._complete(txn, True, REASON_COMMITTED)
             return tid
         if spec.is_read_only and self.config.read_only_optimization:
             txn.phase = PHASE_READ_ONLY
+            if tracer.enabled:
+                txn.phase_span = tracer.span_begin(
+                    tid, SPAN_READ_ONLY, self.node_id, self.dc)
             self._send_read_only(txn)
         else:
             self._choose_coordinator(txn)
+            if tracer.enabled:
+                txn.phase_span = tracer.span_begin(
+                    tid, SPAN_READ, self.node_id, self.dc)
             self._send_read_prepare(txn)
             self._arm_heartbeat(txn)
             if not txn.awaiting_reads:
@@ -255,6 +268,11 @@ class CarouselClient(Node):
 
     def _enter_commit_phase(self, txn: _ClientTxn) -> None:
         txn.phase = PHASE_COMMIT
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span_end(txn.phase_span)
+            txn.phase_span = tracer.span_begin(
+                txn.tid, SPAN_COMMIT, self.node_id, self.dc)
         reads = {k: txn.values.get(k) for k in txn.spec.read_keys}
         writes = txn.spec.run_write_function(reads)
         if writes is None:
@@ -294,6 +312,11 @@ class CarouselClient(Node):
         if txn.phase == PHASE_DONE:
             return
         txn.phase = PHASE_DONE
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span_end(txn.phase_span)
+            txn.phase_span = None
+            tracer.txn_end(txn.tid, committed, reason)
         self._cancel(txn, "heartbeat_timer")
         self._cancel(txn, "retry_timer")
         self._active.pop(txn.tid, None)

@@ -33,6 +33,7 @@ from repro.core.messages import (
     WritebackAck,
 )
 from repro.core.occ import ABORT, PREPARED
+from repro.trace.tracer import SPAN_CPC_FAST, SPAN_CPC_SLOW, SPAN_WRITEBACK
 from repro.core.records import (
     CoordDecisionRecord,
     CoordSetsRecord,
@@ -85,6 +86,10 @@ class CoordTxnState:
     heartbeat_timer: Any = None
     writeback_timer: Any = None
     requery_timer: Any = None
+    #: Tracing: virtual time of the first fast vote seen per partition.
+    trace_first_ms: Dict[str, float] = field(default_factory=dict)
+    #: Tracing: the open writeback span, if any.
+    trace_writeback_span: Any = None
 
     def all_prepared(self) -> bool:
         """Every participant partition reported a prepared decision."""
@@ -227,6 +232,8 @@ class CoordinatorComponent:
         votes.setdefault(msg.replica_id,
                          (msg.decision, msg.read_versions, msg.term,
                           msg.is_leader))
+        state.trace_first_ms.setdefault(msg.partition_id,
+                                        self.server.kernel.now)
         self._evaluate_fast_path(state, msg.partition_id)
 
     def _evaluate_fast_path(self, state: CoordTxnState,
@@ -252,6 +259,14 @@ class CoordinatorComponent:
             state.decisions[partition_id] = (decision, versions)
             state.fast_path_partitions.add(partition_id)
             self.fast_path_decisions += 1
+            tracer = self.server.tracer
+            if tracer.enabled:
+                tracer.add_span(
+                    state.tid, SPAN_CPC_FAST, self.server.node_id,
+                    self.server.dc,
+                    start_ms=state.trace_first_ms.get(partition_id),
+                    detail=(f"{partition_id} {decision} "
+                            f"votes={matching}/{group_size}"))
             self._maybe_decide(state)
 
     def on_prepare_result(self, msg: PrepareResult) -> None:
@@ -266,6 +281,15 @@ class CoordinatorComponent:
             return  # fast path (or an earlier result) already decided
         state.decisions[msg.partition_id] = (msg.decision, msg.read_versions)
         self.slow_path_decisions += 1
+        tracer = self.server.tracer
+        if tracer.enabled and self.config.fast_path_enabled:
+            # In fast mode, a leader PrepareResult arriving before a fast
+            # quorum formed means this partition took CPC's slow path.
+            tracer.add_span(
+                state.tid, SPAN_CPC_SLOW, self.server.node_id,
+                self.server.dc,
+                start_ms=state.trace_first_ms.get(msg.partition_id),
+                detail=f"{msg.partition_id} {msg.decision}")
         self._maybe_decide(state)
 
     def on_writeback_ack(self, msg: WritebackAck) -> None:
@@ -368,7 +392,14 @@ class CoordinatorComponent:
         if not outstanding:
             self._finish(state)
             return
-        for pid in outstanding:
+        tracer = self.server.tracer
+        if tracer.enabled and state.trace_writeback_span is None:
+            state.trace_writeback_span = tracer.span_begin(
+                state.tid, SPAN_WRITEBACK, self.server.node_id,
+                self.server.dc, detail=state.decision or "")
+        # Sorted: set iteration order is hash-dependent and would make
+        # message order (and trace output) vary across processes.
+        for pid in sorted(outstanding):
             sets = state.participants[pid]
             writes = {k: state.writes[k] for k in sets.write_keys
                       if k in state.writes} \
@@ -388,6 +419,10 @@ class CoordinatorComponent:
             self._send_writebacks(state)
 
     def _finish(self, state: CoordTxnState) -> None:
+        tracer = self.server.tracer
+        if tracer.enabled:
+            tracer.span_end(state.trace_writeback_span)
+            state.trace_writeback_span = None
         self._cancel_timer(state, "heartbeat_timer")
         self._cancel_timer(state, "writeback_timer")
         self._cancel_timer(state, "requery_timer")

@@ -36,6 +36,7 @@ from repro.core.occ import (
 )
 from repro.core.records import CommitRecord, PrepareRecord
 from repro.raft.node import RaftMember
+from repro.trace.tracer import SPAN_PREPARE
 from repro.store.kvstore import VersionedKVStore
 from repro.txn import TID
 
@@ -238,10 +239,17 @@ class PartitionComponent:
             coordinator_id=msg.coordinator_id,
             coord_group_id=msg.coord_group_id)
         self._preparing.add(tid)
+        tracer = self.server.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.span_begin(
+                tid, SPAN_PREPARE, self.server.node_id, self.server.dc,
+                detail=f"{self.partition_id} {decision}")
 
         def replicated(_entry):
             # Slow-path completion: decision is durable, report it (§4.1.4).
             self._preparing.discard(tid)
+            self.server.tracer.span_end(span)
             self._send(record.coordinator_id, PrepareResult(
                 tid=tid, partition_id=self.partition_id,
                 decision=record.decision,
@@ -249,6 +257,7 @@ class PartitionComponent:
 
         if self.member.propose(record, on_committed=replicated) is None:
             self._preparing.discard(tid)
+            self.server.tracer.span_end(span)
 
     def _follower_fast_vote(self, msg: ReadPrepareRequest) -> None:
         """A follower's independent CPC vote, from purely local state
@@ -256,10 +265,15 @@ class PartitionComponent:
         tid = msg.tid
         if tid in self.resolved:
             return
+        tracer = self.server.tracer
         existing = self.pending.get(tid)
         if existing is not None:
             # The slow-path record arrived first; vote consistently with it.
             self.fast_votes_cast += 1
+            if tracer.enabled:
+                tracer.point(tid, "fast-vote", self.server.node_id,
+                             self.server.dc,
+                             detail=f"{self.partition_id} {PREPARED}")
             self._send(msg.coordinator_id, FastVote(
                 tid=tid, partition_id=self.partition_id,
                 replica_id=self.server.node_id, is_leader=False,
@@ -277,6 +291,10 @@ class PartitionComponent:
                 read_versions=versions, term=term,
                 coordinator_id=msg.coordinator_id, provisional=True))
         self.fast_votes_cast += 1
+        if tracer.enabled:
+            tracer.point(tid, "fast-vote", self.server.node_id,
+                         self.server.dc,
+                         detail=f"{self.partition_id} {decision}")
         self._send(msg.coordinator_id, FastVote(
             tid=tid, partition_id=self.partition_id,
             replica_id=self.server.node_id, is_leader=False,

@@ -19,6 +19,7 @@ from repro.layered.messages import (
 )
 from repro.sim.message import Message
 from repro.sim.node import Node
+from repro.trace.tracer import SPAN_COMMIT, SPAN_READ
 from repro.txn import (
     REASON_CLIENT_ABORT,
     REASON_COMMITTED,
@@ -49,6 +50,8 @@ class _LayeredTxn:
     versions: Dict[str, int] = field(default_factory=dict)
     writes: Dict[str, Any] = field(default_factory=dict)
     retry_timer: Any = None
+    #: Tracing: the open client phase span (read/commit).
+    phase_span: Any = None
 
 
 class LayeredClient(Node):
@@ -77,6 +80,10 @@ class LayeredClient(Node):
                           started_ms=self.kernel.now)
         self._active[tid] = txn
         self.submitted += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.txn_begin(tid, system="layered", client=self.node_id,
+                             dc=self.dc)
         read_groups = self.partitioner.group_by_partition(spec.read_keys)
         write_groups = self.partitioner.group_by_partition(spec.write_keys)
         for pid in sorted(set(read_groups) | set(write_groups)):
@@ -90,6 +97,9 @@ class LayeredClient(Node):
         txn.awaiting_reads = {pid for pid, sets in txn.participants.items()
                               if sets.read_keys}
         if txn.awaiting_reads:
+            if tracer.enabled:
+                txn.phase_span = tracer.span_begin(
+                    tid, SPAN_READ, self.node_id, self.dc)
             self._send_reads(txn)
         else:
             self._enter_commit(txn)
@@ -111,7 +121,7 @@ class LayeredClient(Node):
         txn.coordinator_id = self.directory.lookup(group).leader
 
     def _send_reads(self, txn: _LayeredTxn) -> None:
-        for pid in txn.awaiting_reads:
+        for pid in sorted(txn.awaiting_reads):
             sets = txn.participants[pid]
             leader = self.directory.lookup(pid).leader
             self.send(leader, LayeredRead(
@@ -119,6 +129,11 @@ class LayeredClient(Node):
 
     def _enter_commit(self, txn: _LayeredTxn) -> None:
         txn.phase = PHASE_COMMIT
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span_end(txn.phase_span)
+            txn.phase_span = tracer.span_begin(
+                txn.tid, SPAN_COMMIT, self.node_id, self.dc)
         reads = {k: txn.values.get(k) for k in txn.spec.read_keys}
         writes = txn.spec.run_write_function(reads)
         if writes is None:
@@ -140,6 +155,11 @@ class LayeredClient(Node):
         if txn.phase == PHASE_DONE:
             return
         txn.phase = PHASE_DONE
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span_end(txn.phase_span)
+            txn.phase_span = None
+            tracer.txn_end(txn.tid, committed, reason)
         if txn.retry_timer is not None:
             txn.retry_timer.cancel()
         self._active.pop(txn.tid, None)

@@ -29,6 +29,7 @@ from repro.layered.messages import (
 )
 from repro.raft.node import RaftHost, RaftMember
 from repro.store.kvstore import VersionedKVStore
+from repro.trace.tracer import SPAN_PREPARE, SPAN_WRITEBACK
 from repro.txn import REASON_COMMITTED, REASON_CONFLICT, \
     REASON_STALE_READ, TID
 
@@ -164,6 +165,9 @@ class _CoordState:
     decision_replicated: bool = False
     replied: bool = False
     writeback_acks: Set[str] = field(default_factory=set)
+    #: Tracing: open 2PC-prepare and writeback spans.
+    trace_prepare_span: Any = None
+    trace_writeback_span: Any = None
 
 
 class LayeredServer(RaftHost):
@@ -245,6 +249,11 @@ class LayeredServer(RaftHost):
             participants=dict(msg.participants), writes=dict(msg.writes),
             read_versions=dict(msg.read_versions))
         self.coord_states[msg.tid] = state
+        tracer = self.tracer
+        if tracer.enabled:
+            state.trace_prepare_span = tracer.span_begin(
+                msg.tid, SPAN_PREPARE, self.node_id, self.dc,
+                detail="2pc-prepare")
         # Phase one: sequential 2PC prepare, only now (nothing overlapped).
         for pid, sets in state.participants.items():
             versions = tuple(sorted(
@@ -265,6 +274,10 @@ class LayeredServer(RaftHost):
         decision = COMMIT if all(v == PREPARED
                                  for v in state.votes.values()) else ABORT
         state.decision = decision
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span_end(state.trace_prepare_span, detail=decision)
+            state.trace_prepare_span = None
         member = self.members[state.group_id]
 
         def decision_replicated(__):
@@ -276,6 +289,11 @@ class LayeredServer(RaftHost):
             self.send(state.client_id, LayeredReply(
                 tid=state.tid, committed=decision == COMMIT,
                 reason=reason))
+            inner_tracer = self.tracer
+            if inner_tracer.enabled and state.trace_writeback_span is None:
+                state.trace_writeback_span = inner_tracer.span_begin(
+                    state.tid, SPAN_WRITEBACK, self.node_id, self.dc,
+                    detail=decision)
             self._send_writebacks(state)
 
         if member.propose(LayeredDecisionRecord(tid=state.tid,
@@ -299,5 +317,9 @@ class LayeredServer(RaftHost):
             return
         state.writeback_acks.add(msg.partition_id)
         if state.writeback_acks >= set(state.participants):
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.span_end(state.trace_writeback_span)
+                state.trace_writeback_span = None
             self.finished[state.tid] = state.decision or ABORT
             del self.coord_states[state.tid]

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.raft.log import LogEntry, RaftLog
+from repro.trace.tracer import SPAN_RAFT
 from repro.raft.messages import (
     AppendEntries,
     AppendEntriesReply,
@@ -122,6 +123,8 @@ class RaftMember:
         self._election_timer = None
         self._heartbeat_timer = None
         self._commit_callbacks: Dict[int, Callable[[LogEntry], None]] = {}
+        #: Tracing: open replication spans keyed by log index.
+        self._trace_spans: Dict[int, Any] = {}
         self.elections_started = 0
 
         host.add_member(self)
@@ -170,6 +173,7 @@ class RaftMember:
         self.leader_id = None
         self._votes = {}
         self._commit_callbacks.clear()
+        self._trace_spans.clear()
 
     def handle_host_recover(self) -> None:
         """Rejoin the group as a follower."""
@@ -199,6 +203,13 @@ class RaftMember:
         if self.state != LEADER:
             return None
         entry = self.log.append_new(self.current_term, command)
+        tracer = self.host.tracer
+        if tracer.enabled:
+            self._trace_spans[entry.index] = tracer.span_begin(
+                getattr(command, "tid", None), SPAN_RAFT, self.node_id,
+                self.host.dc,
+                detail=(f"{self.group_id} {type(command).__name__} "
+                        f"idx={entry.index}"))
         self.match_index[self.node_id] = entry.index
         if on_committed is not None:
             self._commit_callbacks[entry.index] = on_committed
@@ -269,6 +280,7 @@ class RaftMember:
         self._votes = {}
         if was_leader:
             self._commit_callbacks.clear()
+            self._trace_spans.clear()
         if self._heartbeat_timer is not None:
             self._heartbeat_timer.cancel()
             self._heartbeat_timer = None
@@ -452,6 +464,12 @@ class RaftMember:
             if self.apply_fn is not None and \
                     not isinstance(entry.command, RaftNoop):
                 self.apply_fn(entry)
+            if self._trace_spans:
+                span = self._trace_spans.pop(self.last_applied, None)
+                if span is not None:
+                    # Close the replication span before the commit callback
+                    # runs, so downstream sends happen after it.
+                    self.host.tracer.span_end(span)
             callback = self._commit_callbacks.pop(self.last_applied, None)
             if callback is not None:
                 callback(entry)

@@ -18,6 +18,8 @@ import heapq
 import random
 from typing import Any, Callable, List, Optional
 
+from repro.trace.tracer import NULL_TRACER
+
 
 class Event:
     """A scheduled callback.
@@ -25,9 +27,14 @@ class Event:
     Events are ordered by ``(time, seq)`` so that simultaneous events fire in
     the order they were scheduled.  Cancelling an event marks it dead; the
     kernel skips dead events when it pops them.
+
+    ``ctx`` is the event's causal trace context (``None`` when tracing is
+    off); ``_owner`` back-references the kernel while the event sits in the
+    heap so cancellation can be counted for lazy compaction.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "ctx",
+                 "_owner")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[..., None], args: tuple):
@@ -36,10 +43,18 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.ctx = None
+        self._owner: Optional["Kernel"] = None
 
     def cancel(self) -> None:
         """Prevent this event's callback from running."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self._owner
+        if owner is not None:
+            self._owner = None
+            owner._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -66,8 +81,14 @@ class Kernel:
         self._seq: int = 0
         self._heap: List[Event] = []
         self._stopped = False
+        self._cancelled = 0
         self.random = random.Random(seed)
         self.seed = seed
+        #: The attached tracer; the shared disabled instance by default, so
+        #: tracing costs one ``tracer.enabled`` check when off.
+        self.tracer = NULL_TRACER
+        #: Number of lazy heap compactions performed (observability).
+        self.heap_compactions = 0
 
     @property
     def now(self) -> float:
@@ -85,6 +106,9 @@ class Kernel:
             delay = 0.0
         event = Event(self._now + delay, self._seq, callback, args)
         self._seq += 1
+        if self.tracer.enabled:
+            event.ctx = self.tracer.current
+        event._owner = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -115,15 +139,34 @@ class Kernel:
             if until is not None and event.time > until:
                 break
             heapq.heappop(self._heap)
+            event._owner = None
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.current = event.ctx
             event.callback(*event.args)
             executed += 1
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return executed
 
+    def _note_cancelled(self) -> None:
+        """Count a cancellation of a still-heaped event; compact lazily when
+        dead entries outnumber live ones."""
+        self._cancelled += 1
+        if self._cancelled > 8 and self._cancelled * 2 > len(self._heap):
+            self._compact_heap()
+
+    def _compact_heap(self) -> None:
+        """Drop cancelled entries from the heap and re-heapify."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.heap_compactions += 1
+
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still scheduled."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled

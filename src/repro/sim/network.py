@@ -174,7 +174,12 @@ class Network:
             delay *= 1.0 + self.kernel.random.uniform(0, self.jitter_fraction)
         if self.trace_hook is not None:
             self.trace_hook(msg, delay)
-        self.kernel.schedule(delay, self._deliver, msg, dst)
+        event = self.kernel.schedule(delay, self._deliver, msg, dst)
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            # The delivery event carries a child context: the sender's
+            # causal chain extended by this hop (cross-DC hops deepen it).
+            event.ctx = tracer.on_send(msg, src, dst, delay)
 
     def _deliver(self, msg: Message, dst: "Node") -> None:
         if dst.crashed or self.is_partitioned(msg.src, msg.dst):

@@ -85,6 +85,11 @@ class Node:
         """Current backlog: how long a new arrival would wait for the CPU."""
         return max(0.0, self._busy_until - self.kernel.now)
 
+    @property
+    def tracer(self):
+        """The kernel's attached tracer (the disabled default when off)."""
+        return self.kernel.tracer
+
     # ------------------------------------------------------------------
     # Timers
     # ------------------------------------------------------------------

@@ -70,7 +70,7 @@ class LatencyRecorder:
 
     @property
     def count(self) -> int:
-        """Events recorded under ``category``."""
+        """Number of recorded samples."""
         return len(self.samples)
 
     def median(self) -> float:

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.sim.message import Message
 from repro.sim.node import Node
+from repro.trace.tracer import SPAN_PREPARE, SPAN_READ
 from repro.store.directory import DirectoryService
 from repro.store.partitioning import Partitioner
 from repro.tapir.config import TapirConfig
@@ -94,6 +95,11 @@ class _TapirTxn:
     retry_timer: Any = None
     committed: Optional[bool] = None
     abort_reason: str = ""
+    #: Tracing: the open client phase span (read/prepare).
+    phase_span: Any = None
+    #: Tracing: the deepest causal context among prepare votes, for the
+    #: slow-path timeout join (see :meth:`Tracer.absorb`).
+    vote_ctx: Any = None
 
 
 class TapirClient(Node):
@@ -152,6 +158,10 @@ class TapirClient(Node):
                         started_ms=self.kernel.now)
         self._active[tid] = txn
         self.submitted += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.txn_begin(tid, system="tapir", client=self.node_id,
+                             dc=self.dc)
         read_groups = self.partitioner.group_by_partition(spec.read_keys)
         write_groups = self.partitioner.group_by_partition(spec.write_keys)
         for pid in sorted(set(read_groups) | set(write_groups)):
@@ -166,6 +176,9 @@ class TapirClient(Node):
         txn.awaiting_reads = {pid for pid, p in txn.partitions.items()
                               if p.read_keys}
         if txn.awaiting_reads:
+            if tracer.enabled:
+                txn.phase_span = tracer.span_begin(
+                    tid, SPAN_READ, self.node_id, self.dc)
             self._send_reads(txn)
         else:
             self._enter_prepare(txn)
@@ -183,7 +196,7 @@ class TapirClient(Node):
         return info.replicas[best]
 
     def _send_reads(self, txn: _TapirTxn) -> None:
-        for pid in txn.awaiting_reads:
+        for pid in sorted(txn.awaiting_reads):
             part = txn.partitions[pid]
             self.send(self._closest_replica(pid), TapirRead(
                 tid=txn.tid, partition_id=pid, keys=part.read_keys))
@@ -212,6 +225,11 @@ class TapirClient(Node):
             return
         txn.writes = writes
         txn.phase = PHASE_PREPARE
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span_end(txn.phase_span)
+            txn.phase_span = tracer.span_begin(
+                txn.tid, SPAN_PREPARE, self.node_id, self.dc)
         self._send_prepares(txn)
         txn.fast_timer = self.set_timer(
             self.config.fast_path_timeout_ms, self._fast_path_timeout, txn)
@@ -234,6 +252,14 @@ class TapirClient(Node):
         part = txn.partitions.get(msg.partition_id)
         if part is None or part.decided is not None or part.finalizing:
             return
+        tracer = self.tracer
+        if tracer.enabled:
+            # Remember the deepest vote context: if the fast path fails,
+            # the timeout handler's decision causally depends on it.
+            ctx = tracer.current
+            if ctx is not None and (txn.vote_ctx is None
+                                    or ctx.wan_hops > txn.vote_ctx.wan_hops):
+                txn.vote_ctx = ctx
         part.votes[msg.replica_id] = msg.result
         needed = fast_quorum(len(part.replicas))
         counts: Dict[str, int] = {}
@@ -251,6 +277,11 @@ class TapirClient(Node):
         every undecided partition."""
         if txn.phase != PHASE_PREPARE:
             return
+        tracer = self.tracer
+        if tracer.enabled:
+            # Join: this timer fires with an empty context, but the slow
+            # path's decision is computed from the votes received so far.
+            tracer.absorb(txn.vote_ctx)
         for part in txn.partitions.values():
             if part.decided is not None or part.finalizing:
                 continue
@@ -267,6 +298,9 @@ class TapirClient(Node):
             result = PREPARE_OK if ok_votes >= quorum else PREPARE_ABORT
             part.finalizing = True
             self.slow_paths += 1
+            if tracer.enabled:
+                tracer.point(txn.tid, "tapir-finalize", self.node_id,
+                             self.dc, detail=f"{part.pid} {result}")
             for replica in part.replicas:
                 self.send(replica, TapirFinalize(
                     tid=txn.tid, partition_id=part.pid, result=result))
@@ -353,6 +387,11 @@ class TapirClient(Node):
         if txn.phase == PHASE_DONE:
             return
         txn.phase = PHASE_DONE
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span_end(txn.phase_span)
+            txn.phase_span = None
+            tracer.txn_end(txn.tid, committed, reason)
         for name in ("fast_timer", "retry_timer"):
             timer = getattr(txn, name)
             if timer is not None:

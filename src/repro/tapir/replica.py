@@ -165,6 +165,10 @@ class TapirReplica(Node):
                 self.prepares_ok += 1
             else:
                 self.prepares_rejected += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.point(tid, "tapir-vote", self.node_id, self.dc,
+                         detail=f"{self.partition_id} {result}")
         self.send(msg.src, TapirPrepareReply(
             tid=tid, partition_id=self.partition_id,
             replica_id=self.node_id, result=result))

@@ -1,0 +1,129 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and plain-text timelines.
+
+The Chrome format (one ``traceEvents`` array of ``ph``-typed records with
+microsecond timestamps) loads directly into ``chrome://tracing`` or
+Perfetto.  Each traced transaction becomes a *process*; each node that
+participated becomes a *thread* within it, so the per-node phase spans and
+message flights line up on one horizontal lane per node.
+
+Exports are deterministic: records are emitted in stable (insertion)
+order and serialized with sorted keys, so the same seed produces a
+byte-identical file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.trace.tracer import Span, Tracer, TxnTrace
+
+
+def _us(ms: float) -> int:
+    """Virtual milliseconds → integer microseconds (Chrome's unit)."""
+    return int(round(ms * 1000.0))
+
+
+def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from a tracer's records."""
+    events: List[Dict[str, Any]] = []
+    for pid, txn in enumerate(tracer.transactions(), start=1):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": f"txn {txn.tid} [{txn.system}]"},
+        })
+        critical = {ann.msg_id for ann in txn.critical_path()}
+        # One thread lane per node, in order of first appearance.
+        lanes: Dict[str, int] = {}
+
+        def lane(node: str) -> int:
+            if node not in lanes:
+                lanes[node] = len(lanes) + 1
+                events.append({
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": lanes[node], "args": {"name": node},
+                })
+            return lanes[node]
+
+        for span in txn.spans:
+            end_ms = span.end_ms if span.end_ms is not None else span.start_ms
+            events.append({
+                "ph": "X", "name": span.kind, "cat": "span",
+                "pid": pid, "tid": lane(span.node),
+                "ts": _us(span.start_ms),
+                "dur": max(1, _us(end_ms) - _us(span.start_ms)),
+                "args": {"detail": span.detail, "dc": span.dc},
+            })
+        for ann in txn.messages:
+            events.append({
+                "ph": "X", "name": ann.msg_type, "cat": "message",
+                "pid": pid, "tid": lane(ann.src),
+                "ts": _us(ann.send_ms),
+                "dur": max(1, _us(ann.recv_ms) - _us(ann.send_ms)),
+                "args": {
+                    "src": ann.src, "src_dc": ann.src_dc,
+                    "dst": ann.dst, "dst_dc": ann.dst_dc,
+                    "bytes": ann.size_bytes, "cross_dc": ann.cross_dc,
+                    "wan_hops": ann.wan_hops,
+                    "critical": ann.msg_id in critical,
+                },
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracer: Tracer) -> str:
+    """Serialize :func:`to_chrome_trace` deterministically (sorted keys)."""
+    return json.dumps(to_chrome_trace(tracer), sort_keys=True, indent=1)
+
+
+def render_timeline(txn: TxnTrace) -> str:
+    """Render one transaction as a plain-text timeline.
+
+    Rows are ordered by virtual time; critical-path messages are starred
+    so the sequential-WANRT accounting can be read off directly.
+    """
+    lines: List[str] = []
+    latency = txn.latency_ms()
+    outcome = ("COMMITTED" if txn.committed
+               else "ABORTED" if txn.committed is not None else "PENDING")
+    header = f"txn {txn.tid} [{txn.system}] {outcome}"
+    if latency is not None:
+        header += f"  latency={latency:.1f}ms"
+    header += (f"  sequential-WANRT={txn.sequential_wanrt():.1f}"
+               f" ({txn.sequential_wan_hops()} WAN hops on critical path)")
+    lines.append(header)
+    if txn.reason:
+        lines.append(f"  reason: {txn.reason}")
+    lines.append("")
+
+    critical = {ann.msg_id for ann in txn.critical_path()}
+    rows: List[Any] = []
+    for span in txn.spans:
+        detail = f" {span.detail}" if span.detail else ""
+        if span.end_ms is not None and span.end_ms > span.start_ms:
+            rows.append((span.start_ms, len(rows),
+                         f"|- {span.kind} begin @{span.node}{detail}"))
+            rows.append((span.end_ms, len(rows),
+                         f"|- {span.kind} end   @{span.node}"
+                         f" (+{span.end_ms - span.start_ms:.1f}ms)"))
+        else:
+            rows.append((span.start_ms, len(rows),
+                         f"|- {span.kind} @{span.node}{detail}"))
+    for ann in txn.messages:
+        star = "*" if ann.msg_id in critical else " "
+        wan = "WAN" if ann.cross_dc else "local"
+        rows.append((ann.send_ms, len(rows),
+                     f"{star}> {ann.msg_type} {ann.src} -> {ann.dst}"
+                     f" [{wan}] {ann.size_bytes}B"
+                     f" arrives {ann.recv_ms:.1f}ms"))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    for ms, _, text in rows:
+        lines.append(f"{ms:9.1f}ms  {text}")
+    lines.append("")
+    lines.append("critical path (client-observed chain, * above):")
+    for ann in txn.critical_path():
+        wan = "WAN" if ann.cross_dc else "local"
+        lines.append(f"  {ann.send_ms:9.1f}ms  {ann.msg_type}"
+                     f" {ann.src_dc} -> {ann.dst_dc} [{wan}]"
+                     f" hops={ann.wan_hops}")
+    return "\n".join(lines)

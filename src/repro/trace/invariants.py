@@ -1,0 +1,116 @@
+"""Checkers for the paper's sequential-WANRT claims.
+
+Carousel's headline numbers are *counts* of sequential wide-area round
+trips on a committing transaction's critical path (§1, §4):
+
+* Basic: 2 WANRT (read/prepare round + commit round).
+* CPC fast path: 1 WANRT beyond the read round — with local-replica
+  reads serving the read round locally, 1 WANRT total.
+* Read-only optimization: 1 WANRT (the read round is the transaction).
+* Layered 2PC-over-consensus baseline: ≥ 3 WANRT.
+* TAPIR: fast path 1 WANRT beyond the read round; slow path ≥ 2.
+
+:func:`check_transaction` classifies a traced transaction by its spans
+and asserts its measured critical-path WANRT against the claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.trace.tracer import (SPAN_CPC_FAST, SPAN_CPC_SLOW, SPAN_READ,
+                                SPAN_READ_ONLY, TxnTrace)
+
+
+class InvariantViolation(AssertionError):
+    """A traced transaction contradicts the paper's WANRT claim."""
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of checking one transaction against its variant's claim."""
+
+    variant: str
+    measured_wanrt: float
+    expected_min: float
+    expected_max: float
+    ok: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.ok else "VIOLATION"
+        if math.isinf(self.expected_max):
+            expected = f">={self.expected_min:g}"
+        elif self.expected_min == self.expected_max:
+            expected = f"=={self.expected_min:g}"
+        else:
+            expected = f"in [{self.expected_min:g}, {self.expected_max:g}]"
+        return (f"[{verdict}] {self.variant}: measured "
+                f"{self.measured_wanrt:g} WANRT, paper claims {expected}"
+                f"{' — ' + self.detail if self.detail else ''}")
+
+
+def _read_phase_wanrt(txn: TxnTrace) -> float:
+    """WANRT spent inside the client's read span (0 with local reads)."""
+    read = txn.span(SPAN_READ)
+    if read is None or read.end_ms is None:
+        return 0.0
+    return txn.wanrt_between(read.start_ms, read.end_ms)
+
+
+def classify(txn: TxnTrace) -> Tuple[str, float, float]:
+    """Map a traced transaction to (variant, min WANRT, max WANRT).
+
+    The variant is inferred from the system label and the spans actually
+    recorded (e.g. a Carousel fast-mode transaction that fell back to the
+    slow path carries a ``cpc-slow`` span).
+    """
+    inf = math.inf
+    system = txn.system
+    if system.startswith("carousel"):
+        if txn.span(SPAN_READ_ONLY) is not None:
+            return ("carousel-read-only", 1.0, 1.0)
+        if system == "carousel-fast":
+            if txn.spans_of(SPAN_CPC_SLOW):
+                # CPC's slow path costs at least one more round.
+                return ("carousel-fast-slow-path", 1.0, inf)
+            # Fast path: exactly 1 WANRT beyond whatever the read cost.
+            commit = _read_phase_wanrt(txn) + 1.0
+            return ("carousel-fast", commit, commit)
+        return ("carousel-basic", 2.0, 2.0)
+    if system == "layered":
+        return ("layered", 3.0, inf)
+    if system == "tapir":
+        if txn.spans_of("tapir-finalize"):
+            return ("tapir-slow", 2.0, inf)
+        commit = _read_phase_wanrt(txn) + 1.0
+        return ("tapir-fast", commit, commit)
+    return (system or "unknown", 0.0, inf)
+
+
+def check_transaction(txn: TxnTrace) -> InvariantReport:
+    """Check one committed transaction's measured WANRT against its claim.
+
+    Also cross-validates the context counter against an independent walk
+    of the critical-path message chain.  Raises
+    :class:`InvariantViolation` on any mismatch.
+    """
+    if txn.committed is None:
+        raise InvariantViolation(f"txn {txn.tid} never completed")
+    path_hops = sum(1 for ann in txn.critical_path() if ann.cross_dc)
+    if txn.wan_hops is not None and txn.wan_hops != path_hops:
+        raise InvariantViolation(
+            f"txn {txn.tid}: context counter says {txn.wan_hops} WAN hops "
+            f"but the critical-path walk finds {path_hops}")
+    variant, lo, hi = classify(txn)
+    measured = txn.sequential_wanrt()
+    ok = (lo - 1e-9) <= measured <= (hi + 1e-9)
+    report = InvariantReport(
+        variant=variant, measured_wanrt=measured,
+        expected_min=lo, expected_max=hi, ok=ok,
+        detail=f"txn {txn.tid}, {path_hops} WAN hops")
+    if not ok:
+        raise InvariantViolation(str(report))
+    return report

@@ -44,8 +44,11 @@ class ZipfianGenerator:
         self._zeta_n = zeta(n, theta)
         self._zeta_2 = zeta(2, theta)
         self._alpha = 1.0 / (1.0 - theta)
-        self._eta = ((1.0 - (2.0 / n) ** (1.0 - theta))
-                     / (1.0 - self._zeta_2 / self._zeta_n))
+        denom = 1.0 - self._zeta_2 / self._zeta_n
+        # With n <= 2 every draw resolves in the first two branches of
+        # next(), so eta is never consulted — and its denominator is 0.
+        self._eta = 0.0 if denom == 0.0 else (
+            (1.0 - (2.0 / n) ** (1.0 - theta)) / denom)
 
     def next(self) -> int:
         """Draw one Zipfian rank in [0, n)."""

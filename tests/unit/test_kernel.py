@@ -133,3 +133,60 @@ def test_run_returns_executed_count():
     for i in range(5):
         kernel.schedule(float(i), lambda: None)
     assert kernel.run() == 5
+
+
+def test_double_cancel_does_not_double_count():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    event = kernel.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert kernel.pending_events() == 1
+
+
+def test_cancel_after_fire_is_harmless():
+    kernel = Kernel()
+    fired = []
+    event = kernel.schedule(1.0, fired.append, "x")
+    kernel.schedule(2.0, lambda: None)
+    kernel.run()
+    event.cancel()
+    assert fired == ["x"]
+    assert kernel.pending_events() == 0
+
+
+def test_heap_compaction_when_cancelled_majority():
+    kernel = Kernel()
+    live = [kernel.schedule(float(i), lambda: None) for i in range(5)]
+    dead = [kernel.schedule(100.0 + i, lambda: None) for i in range(10)]
+    for event in dead:
+        event.cancel()
+    assert kernel.heap_compactions >= 1
+    assert len(kernel._heap) < 15  # compaction dropped dead entries
+    assert kernel.pending_events() == 5
+    executed = kernel.run()
+    assert executed == len(live)
+
+
+def test_no_compaction_below_threshold():
+    kernel = Kernel()
+    events = [kernel.schedule(float(i), lambda: None) for i in range(20)]
+    for event in events[:5]:
+        event.cancel()
+    assert kernel.heap_compactions == 0
+    assert kernel.pending_events() == 15
+
+
+def test_pending_events_and_run_after_compaction():
+    kernel = Kernel()
+    fired = []
+    keep = kernel.schedule(50.0, fired.append, "keep")
+    doomed = [kernel.schedule(float(i), lambda: None) for i in range(20)]
+    for event in doomed:
+        event.cancel()
+    assert kernel.heap_compactions >= 1
+    assert kernel.pending_events() == 1
+    kernel.run()
+    assert fired == ["keep"]
+    assert kernel.now == 50.0
+    assert keep._owner is None

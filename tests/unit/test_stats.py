@@ -96,6 +96,26 @@ class TestLatencyRecorder:
     def test_cdf_empty(self):
         assert LatencyRecorder().cdf() == []
 
+    def test_cdf_more_points_than_samples_returns_all(self):
+        rec = LatencyRecorder()
+        for v in [1.0, 2.0, 3.0]:
+            rec.record(v)
+        cdf = rec.cdf(points=50)
+        assert cdf == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+    def test_cdf_points_equal_to_samples_returns_all(self):
+        rec = LatencyRecorder()
+        for v in [1.0, 2.0]:
+            rec.record(v)
+        assert len(rec.cdf(points=2)) == 2
+
+    def test_count_property_matches_len(self):
+        rec = LatencyRecorder()
+        assert rec.count == 0
+        rec.record(1.0)
+        rec.record(2.0)
+        assert rec.count == len(rec) == 2
+
     def test_mean_empty_raises(self):
         with pytest.raises(ValueError):
             LatencyRecorder().mean()

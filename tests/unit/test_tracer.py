@@ -1,0 +1,200 @@
+"""Unit tests for the virtual-time tracer data model and hooks."""
+
+from repro.sim.kernel import Kernel
+from repro.trace.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SPAN_READ,
+    TraceCtx,
+    Tracer,
+)
+
+
+class FakeNode:
+    """Endpoint stub: the tracer only reads ``node_id`` and ``dc``."""
+
+    def __init__(self, node_id, dc):
+        self.node_id = node_id
+        self.dc = dc
+
+
+class FakeMsg:
+    """Message stub: the tracer only reads ``type_name`` and size."""
+
+    type_name = "FakeMsg"
+
+    def size_bytes(self):
+        return 100
+
+
+WEST = FakeNode("a", "us-west")
+EAST = FakeNode("b", "us-east")
+WEST2 = FakeNode("c", "us-west")
+
+
+def make_tracer():
+    return Tracer(Kernel(seed=1))
+
+
+class TestNullTracer:
+    def test_disabled_and_noop(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.txn_begin("t") is None
+        assert NULL_TRACER.span_begin("t", SPAN_READ) is None
+        assert NULL_TRACER.on_send(FakeMsg(), WEST, EAST, 1.0) is None
+        NULL_TRACER.span_end(None)
+        NULL_TRACER.absorb(None)
+        NULL_TRACER.txn_end("t", True)
+
+    def test_kernel_defaults_to_shared_null_tracer(self):
+        assert Kernel().tracer is NULL_TRACER
+
+
+class TestContextDerivation:
+    def test_txn_begin_roots_zero_hop_context(self):
+        tracer = make_tracer()
+        tracer.txn_begin("t1", system="test")
+        assert tracer.current.tid == "t1"
+        assert tracer.current.wan_hops == 0
+        assert tracer.current.last_msg is None
+
+    def test_cross_dc_send_increments_hops(self):
+        tracer = make_tracer()
+        tracer.txn_begin("t1")
+        child = tracer.on_send(FakeMsg(), WEST, EAST, 35.0)
+        assert child.wan_hops == 1
+        assert child.last_msg.cross_dc is True
+
+    def test_local_send_keeps_hop_count(self):
+        tracer = make_tracer()
+        tracer.txn_begin("t1")
+        child = tracer.on_send(FakeMsg(), WEST, WEST2, 0.2)
+        assert child.wan_hops == 0
+        assert child.last_msg.cross_dc is False
+
+    def test_parent_chain_links_messages(self):
+        tracer = make_tracer()
+        tracer.txn_begin("t1")
+        a = tracer.on_send(FakeMsg(), WEST, EAST, 35.0)
+        tracer.current = a
+        b = tracer.on_send(FakeMsg(), EAST, WEST, 35.0)
+        assert b.wan_hops == 2
+        assert b.last_msg.parent is a.last_msg
+        assert b.last_msg.parent.parent is None
+
+    def test_send_without_context_is_orphaned(self):
+        tracer = make_tracer()
+        ctx = tracer.on_send(FakeMsg(), WEST, EAST, 35.0)
+        assert ctx.tid is None
+        assert len(tracer.orphan_messages) == 1
+        assert tracer.transactions() == []
+
+    def test_absorb_deepens_but_never_shallows(self):
+        tracer = make_tracer()
+        tracer.txn_begin("t1")
+        deep = TraceCtx("t1", 4, None)
+        tracer.absorb(deep)
+        assert tracer.current is deep
+        tracer.absorb(TraceCtx("t1", 2, None))
+        assert tracer.current is deep
+        tracer.absorb(None)
+        assert tracer.current is deep
+
+
+class TestSpansAndTxnTrace:
+    def test_span_lifecycle(self):
+        tracer = make_tracer()
+        tracer.txn_begin("t1")
+        span = tracer.span_begin("t1", SPAN_READ, node="a", dc="us-west")
+        assert span.end_ms is None and span.duration_ms is None
+        tracer.kernel.schedule(10.0, lambda: None)
+        tracer.kernel.run()
+        tracer.span_end(span, detail="done")
+        assert span.end_ms == 10.0
+        assert span.duration_ms == 10.0
+        assert span.detail == "done"
+
+    def test_span_end_is_idempotent_and_none_safe(self):
+        tracer = make_tracer()
+        tracer.txn_begin("t1")
+        span = tracer.span_begin("t1", SPAN_READ)
+        tracer.span_end(span)
+        first_end = span.end_ms
+        tracer.kernel.schedule(5.0, lambda: None)
+        tracer.kernel.run()
+        tracer.span_end(span)
+        assert span.end_ms == first_end
+        tracer.span_end(None)  # must not raise
+
+    def test_point_has_zero_duration(self):
+        tracer = make_tracer()
+        tracer.txn_begin("t1")
+        point = tracer.point("t1", "vote", node="a")
+        assert point.start_ms == point.end_ms
+
+    def test_span_for_unknown_txn_is_orphaned(self):
+        tracer = make_tracer()
+        tracer.span_begin("nope", SPAN_READ)
+        assert len(tracer.orphan_spans) == 1
+
+    def test_txn_end_captures_critical_path(self):
+        tracer = make_tracer()
+        tracer.txn_begin("t1")
+        a = tracer.on_send(FakeMsg(), WEST, EAST, 35.0)
+        tracer.current = a
+        b = tracer.on_send(FakeMsg(), EAST, WEST, 35.0)
+        tracer.current = b
+        tracer.txn_end("t1", committed=True)
+        txn = tracer.get("t1")
+        assert txn.committed is True
+        assert txn.wan_hops == 2
+        assert txn.sequential_wanrt() == 1.0
+        path = txn.critical_path()
+        assert [m.msg_id for m in path] == [a.last_msg.msg_id,
+                                            b.last_msg.msg_id]
+
+    def test_counter_matches_path_walk(self):
+        tracer = make_tracer()
+        tracer.txn_begin("t1")
+        for src, dst in [(WEST, EAST), (EAST, WEST), (WEST, WEST2)]:
+            tracer.current = tracer.on_send(FakeMsg(), src, dst, 1.0)
+        tracer.txn_end("t1", committed=True)
+        txn = tracer.get("t1")
+        walked = sum(1 for m in txn.critical_path() if m.cross_dc)
+        assert txn.wan_hops == walked == 2
+
+
+class TestKernelIntegration:
+    def test_context_propagates_through_scheduled_events(self):
+        kernel = Kernel(seed=1)
+        tracer = Tracer(kernel)
+        seen = []
+
+        def handler():
+            seen.append(tracer.current)
+
+        tracer.txn_begin("t1")
+        root = tracer.current
+        kernel.schedule(1.0, handler)
+        tracer.current = None  # context switch away before the event fires
+        kernel.run()
+        assert seen == [root]
+
+    def test_detach_restores_null_tracer(self):
+        kernel = Kernel(seed=1)
+        tracer = Tracer(kernel)
+        assert kernel.tracer is tracer
+        tracer.detach()
+        assert kernel.tracer is NULL_TRACER
+
+    def test_tracer_consumes_no_randomness(self):
+        untraced = Kernel(seed=9)
+        baseline = [untraced.random.random() for __ in range(3)]
+        traced = Kernel(seed=9)
+        tracer = Tracer(traced)
+        tracer.txn_begin("t1")
+        tracer.on_send(FakeMsg(), WEST, EAST, 1.0)
+        assert [traced.random.random() for __ in range(3)] == baseline
+
+    def test_subclass_relationship(self):
+        assert issubclass(Tracer, NullTracer)

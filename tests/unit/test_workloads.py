@@ -59,6 +59,14 @@ class TestZipf:
         assert zeta(1, 0.75) == 1.0
         assert zeta(2, 0.5) == pytest.approx(1.0 + 2 ** -0.5)
 
+    def test_tiny_universes(self):
+        # n == 2 makes eta's denominator zero (zeta(2) == zeta(n)); the
+        # generator must still draw valid ranks from the first branches.
+        for n in (1, 2):
+            gen = ZipfianGenerator(n, theta=0.5, rng=random.Random(0))
+            for __ in range(500):
+                assert 0 <= gen.next() < n
+
 
 class TestBumpCounter:
     def test_increments_padded(self):
