@@ -1,0 +1,35 @@
+"""Determinism sanitizer: static analysis plus a runtime bisector.
+
+The whole reproduction rests on the DES being bit-for-bit deterministic
+under a fixed seed (see the kernel docstring's rules: all randomness from
+``kernel.random``, events ordered by ``(time, seq)``).  This package turns
+those rules from review guidance into tooling:
+
+* :mod:`repro.analysis.detlint` — an AST linter whose rules catch the
+  nondeterminism bug classes this codebase has actually had (hash-ordered
+  ``set`` iteration in send loops, wall-clock reads, stray RNGs, ...).
+* :mod:`repro.analysis.divergence` — a dual-process harness that runs the
+  same scenario twice under different ``PYTHONHASHSEED`` values, records a
+  compact digest stream of kernel activity, and localizes the *first*
+  diverging event with its causal context.
+
+Both are exposed on the command line as ``python -m repro lint`` and
+``python -m repro divergence``; CI gates on a clean lint run over ``src/``.
+"""
+
+from repro.analysis.detlint import RULES, Rule, lint_paths, lint_source
+from repro.analysis.digest import DigestRecorder
+from repro.analysis.divergence import DivergenceReport, run_divergence
+from repro.analysis.findings import Finding, format_findings
+
+__all__ = [
+    "DigestRecorder",
+    "DivergenceReport",
+    "Finding",
+    "RULES",
+    "Rule",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+    "run_divergence",
+]

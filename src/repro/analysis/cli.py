@@ -1,0 +1,114 @@
+"""CLI for the determinism sanitizer: ``repro lint`` / ``repro divergence``.
+
+Dispatched from :mod:`repro.cli` when the first argument is ``lint`` or
+``divergence``::
+
+    python -m repro lint src/                 # CI gate: exit 1 on findings
+    python -m repro lint --list-rules
+    python -m repro divergence --system basic # dual-run determinism check
+    python -m repro divergence --plant-set-bug  # demo: localize a known bug
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.detlint import RULES, lint_paths
+from repro.analysis.findings import format_findings
+
+
+def _build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="AST determinism linter (detlint).  Exits nonzero on "
+                    "any non-suppressed finding.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--keep-suppressed", action="store_true",
+                        help="also report findings silenced by "
+                             "'# detlint: ignore' annotations")
+    return parser
+
+
+def cmd_lint(argv: List[str]) -> int:
+    args = _build_lint_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.code}[{rule.slug}] ({rule.severity}): "
+                  f"{rule.summary}")
+        return 0
+    findings = lint_paths(args.paths or ["src"],
+                          keep_suppressed=args.keep_suppressed)
+    print(format_findings(findings))
+    return 1 if findings else 0
+
+
+def _build_divergence_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro divergence",
+        description="Run the same scenario twice under different "
+                    "PYTHONHASHSEED values and localize the first "
+                    "divergent kernel event.")
+    parser.add_argument("--system",
+                        choices=["basic", "fast", "tapir", "layered"],
+                        default="basic")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="kernel seed shared by both runs")
+    parser.add_argument("--txns", type=int, default=2, metavar="N",
+                        help="transactions per run (default 2)")
+    parser.add_argument("--hash-seeds", type=int, nargs=2,
+                        default=[1, 2], metavar=("A", "B"),
+                        help="PYTHONHASHSEED values for the two runs")
+    parser.add_argument("--context", type=int, default=6,
+                        help="common records to show before a divergence")
+    parser.add_argument("--wide", action="store_true",
+                        help="use the all-partitions fan-out scenario")
+    parser.add_argument("--plant-set-bug", action="store_true",
+                        help="reintroduce PR 1's coordinator set-iteration "
+                             "bug to demonstrate localization")
+    # Internal: run one digest-recorded scenario in this process.
+    parser.add_argument("--child", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--digest-out", default=None,
+                        help=argparse.SUPPRESS)
+    return parser
+
+
+def cmd_divergence(argv: List[str]) -> int:
+    from repro.analysis.divergence import run_child, run_divergence
+
+    args = _build_divergence_parser().parse_args(argv)
+    if args.child:
+        if args.digest_out is None:
+            print("--child requires --digest-out", file=sys.stderr)
+            return 2
+        run_child(args.system, args.seed, args.txns, args.digest_out,
+                  plant_set_bug=args.plant_set_bug, wide=args.wide)
+        return 0
+    report = run_divergence(
+        args.system, seed=args.seed, n_txns=args.txns,
+        hash_seeds=(args.hash_seeds[0], args.hash_seeds[1]),
+        plant_set_bug=args.plant_set_bug,
+        wide=args.wide or None, context=args.context)
+    print(report.render())
+    return 1 if report.diverged else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``lint`` / ``divergence`` subcommands."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro {lint,divergence} ...",
+              file=sys.stderr)
+        return 2
+    command, rest = argv[0], argv[1:]
+    if command == "lint":
+        return cmd_lint(rest)
+    if command == "divergence":
+        return cmd_divergence(rest)
+    print(f"unknown analysis command {command!r}", file=sys.stderr)
+    return 2

@@ -1,0 +1,130 @@
+"""Lint findings, severities, and per-line suppression.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+can be suppressed in source with a ``# detlint: ignore`` comment on the
+flagged line (or on a comment-only line directly above it, for flagged
+statements that are already long)::
+
+    for pid in state.participants:        # detlint: ignore[values-fanout]
+        ...
+
+    # detlint: ignore[set-iter-send, set-iter]
+    for key in pending_keys:
+        ...
+
+The bracket form suppresses only the named rules (codes like ``DL001`` or
+slugs like ``set-iter-send``); the bare form suppresses every rule on that
+line.  Suppressions are deliberate, grep-able exemptions: the CI gate fails
+on any finding that is *not* suppressed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: ``# detlint: ignore`` / ``# detlint: ignore[rule, rule]``
+_SUPPRESS_RE = re.compile(
+    r"#\s*detlint:\s*ignore(?:\[([A-Za-z0-9_\-, ]*)\])?")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a stable code, a readable slug, and a severity.
+
+    ``severity`` is informational — the CI gate fails on warnings too —
+    but tells a reader whether a site is nondeterministic per se (error)
+    or deterministic only under an ordering argument that should be stated
+    (warning).
+    """
+
+    code: str
+    slug: str
+    severity: str
+    summary: str
+
+    def __str__(self) -> str:
+        return f"{self.code}[{self.slug}]"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: Rule
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: CODE[slug] severity: message``."""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"{self.rule.severity}: {self.message}")
+
+
+def parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line number -> suppressed rule names on that line.
+
+    ``None`` means "suppress every rule" (the bare ``ignore`` form); a set
+    holds the codes/slugs named in the bracket form.  A suppression on a
+    comment-only line also covers the next line, so long statements can
+    carry their annotation above themselves.
+    """
+    result: Dict[int, Optional[Set[str]]] = {}
+
+    def merge(lineno: int, names: Optional[Set[str]]) -> None:
+        existing = result.get(lineno, set())
+        if names is None or existing is None:
+            result[lineno] = None
+        else:
+            result[lineno] = existing | names
+
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        group = match.group(1)
+        if group is None:
+            names: Optional[Set[str]] = None
+        else:
+            names = {part.strip() for part in group.split(",")
+                     if part.strip()}
+            if not names:
+                names = None
+        merge(lineno, names)
+        if text.lstrip().startswith("#"):
+            # Comment-only line: the annotation covers the statement below.
+            merge(lineno + 1, names)
+    return result
+
+
+def is_suppressed(finding: Finding,
+                  suppressions: Dict[int, Optional[Set[str]]]) -> bool:
+    """Whether ``finding`` is covered by a source suppression."""
+    names = suppressions.get(finding.line, set())
+    if finding.line not in suppressions:
+        return False
+    if names is None:
+        return True
+    return finding.rule.code in names or finding.rule.slug in names
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    """One line per finding, sorted by location, plus a summary line."""
+    ordered: List[Finding] = sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule.code))
+    lines = [f.format() for f in ordered]
+    errors = sum(1 for f in ordered
+                 if f.rule.severity == SEVERITY_ERROR)
+    warnings = len(ordered) - errors
+    if ordered:
+        lines.append(f"{len(ordered)} finding(s): {errors} error(s), "
+                     f"{warnings} warning(s)")
+    else:
+        lines.append("clean: no determinism findings")
+    return "\n".join(lines)

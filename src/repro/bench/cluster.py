@@ -159,6 +159,8 @@ class CarouselCluster(_BaseCluster):
             self._clients_by_dc[dc] = per_dc
 
     def _start(self) -> None:
+        # Ordered: servers insertion order is construction order (per-dc,
+        # per-index), so the election-timeout RNG draws are deterministic.
         for server in self.servers.values():
             server.start_raft()
 
@@ -232,6 +234,8 @@ class LayeredCluster(_BaseCluster):
                 per_dc.append(client)
                 self.clients.append(client)
             self._clients_by_dc[dc] = per_dc
+        # Ordered: servers insertion order is construction order, so the
+        # election-timeout RNG draws are deterministic.
         for server in self.servers.values():
             server.start_raft()
 

@@ -8,6 +8,9 @@ Usage::
     python -m repro trace-cpc            # Figure 3 (a and b)
     python -m repro trace --system basic # full span/WANRT trace
 
+    python -m repro lint src/            # determinism linter (detlint)
+    python -m repro divergence --system basic   # dual-run hash-seed check
+
     python -m repro fig4 [--scale full]
     python -m repro fig5 [--scale full]  # shares the sweep with fig6
     python -m repro fig6 [--scale full]
@@ -206,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in ("lint", "divergence"):
+        # Determinism-sanitizer subcommands live in repro.analysis.
+        from repro.analysis.cli import main as analysis_main
+        return analysis_main(argv)
     args = build_parser().parse_args(argv)
     args._sweep_cache = None
     COMMANDS[args.experiment](args)

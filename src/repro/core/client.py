@@ -196,6 +196,9 @@ class CarouselClient(Node):
         fast = self.config.fast_path_enabled
         local_reads = self.config.local_reads_enabled
         nearest_reads = fast and self.config.read_nearest_replica
+        # Ordered: participants is built over sorted(pids) in
+        # _build_participants, so insertion order is the sorted order.
+        # detlint: ignore[values-fanout]
         for pid, sets in txn.participants.items():
             info = self.directory.lookup(pid)
             targets = info.replicas if fast else [info.leader]
@@ -226,6 +229,9 @@ class CarouselClient(Node):
                     want_read=want_read, fast_path=fast))
 
     def _send_read_only(self, txn: _ClientTxn) -> None:
+        # Ordered: participants insertion order is sorted(pids); see
+        # _build_participants.
+        # detlint: ignore[values-fanout]
         for pid, sets in txn.participants.items():
             if pid in txn.readonly_ok:
                 continue

@@ -345,7 +345,8 @@ class CoordinatorComponent:
         if state.decision is not None or \
                 not self._is_leader_of(state.group_id):
             return
-        for pid, sets in state.participants.items():
+        # Sorted so query order never depends on dict insertion history.
+        for pid, sets in sorted(state.participants.items()):
             if pid in state.decisions:
                 continue
             leader = self.server.directory.lookup(pid).leader
@@ -500,6 +501,9 @@ class CoordinatorComponent:
     # ------------------------------------------------------------------
     def on_leadership(self, group_id: str) -> None:
         """Adopt in-flight transactions coordinated by this group."""
+        # Adoption order follows dict insertion order: transaction arrival
+        # order, which is itself deterministic under a fixed kernel seed.
+        # detlint: ignore[values-fanout]
         for state in list(self.states.values()):
             if state.group_id != group_id:
                 continue
@@ -514,7 +518,8 @@ class CoordinatorComponent:
                 state.last_heartbeat_ms = self.server.kernel.now
                 self._arm_heartbeat_monitor(state)
                 self._arm_requery(state)
-                for pid, sets in state.participants.items():
+                # Sorted like _requery_prepares: stable re-query order.
+                for pid, sets in sorted(state.participants.items()):
                     if pid in state.decisions:
                         continue
                     leader = self.server.directory.lookup(pid).leader

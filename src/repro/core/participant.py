@@ -356,6 +356,9 @@ class PartitionComponent:
     def finish_recovery(self) -> None:
         """Re-report prepare results, then drain buffered requests."""
         self.recovering = False
+        # Ordered: prepare_log insertion order is prepare arrival order,
+        # which is deterministic under a fixed kernel seed.
+        # detlint: ignore[values-fanout]
         for record in self.prepare_log.values():
             if record.tid in self.resolved:
                 continue

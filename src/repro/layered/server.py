@@ -255,6 +255,8 @@ class LayeredServer(RaftHost):
                 msg.tid, SPAN_PREPARE, self.node_id, self.dc,
                 detail="2pc-prepare")
         # Phase one: sequential 2PC prepare, only now (nothing overlapped).
+        # Ordered: participants was built over sorted(pids) by the client.
+        # detlint: ignore[values-fanout]
         for pid, sets in state.participants.items():
             versions = tuple(sorted(
                 (k, state.read_versions.get(k, 0))
@@ -302,7 +304,9 @@ class LayeredServer(RaftHost):
             pass  # lost leadership; client retry will re-drive
 
     def _send_writebacks(self, state: _CoordState) -> None:
-        for pid, sets in state.participants.items():
+        # Sorted so writeback order never depends on insertion history —
+        # the bug class detlint's DL001/DL005 exist for.
+        for pid, sets in sorted(state.participants.items()):
             writes = {k: state.writes[k] for k in sets.write_keys
                       if k in state.writes} \
                 if state.decision == COMMIT else {}

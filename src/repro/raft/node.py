@@ -145,7 +145,12 @@ class RaftMember:
         return len(self.member_ids) // 2 + 1
 
     def peers(self) -> List[str]:
-        """Group members other than this one."""
+        """Group members other than this one, in ``member_ids`` order.
+
+        Ordering contract: the result preserves the group's configured
+        member order, so every peer fan-out (vote requests, appends,
+        heartbeats) iterates deterministically regardless of hashing.
+        """
         return [m for m in self.member_ids if m != self.node_id]
 
     # ------------------------------------------------------------------
@@ -502,7 +507,13 @@ class RaftHost(Node):
         return self.members[group_id]
 
     def start_raft(self) -> None:
-        """Start every hosted Raft member."""
+        """Start every hosted Raft member.
+
+        Ordered: ``members`` insertion order is ``add_member`` call order,
+        which cluster construction keeps deterministic.  Order matters
+        here because each ``start()`` draws an election timeout from the
+        shared kernel RNG.
+        """
         for member in self.members.values():
             member.start()
 
@@ -519,7 +530,12 @@ class RaftHost(Node):
         raise NotImplementedError
 
     def on_crash(self) -> None:
-        """Fail-stop: drop volatile Raft state on every member."""
+        """Fail-stop: drop volatile Raft state on every member.
+
+        Ordered: ``members`` iterates in ``add_member`` call order (and
+        likewise in :meth:`on_recover`, where restart timers draw from
+        the kernel RNG).
+        """
         for member in self.members.values():
             member.handle_host_crash()
 

@@ -87,6 +87,11 @@ class Kernel:
         #: The attached tracer; the shared disabled instance by default, so
         #: tracing costs one ``tracer.enabled`` check when off.
         self.tracer = NULL_TRACER
+        #: Optional event-digest sink (see :mod:`repro.analysis.digest`):
+        #: when set, every executed event and every network send is
+        #: recorded to a compact stream for cross-process determinism
+        #: diffing.  ``None`` (the default) costs one check per event.
+        self.digest = None
         #: Number of lazy heap compactions performed (observability).
         self.heap_compactions = 0
 
@@ -144,6 +149,8 @@ class Kernel:
                 self._cancelled -= 1
                 continue
             self._now = event.time
+            if self.digest is not None:
+                self.digest.on_event(event.time, event.seq)
             tracer = self.tracer
             if tracer.enabled:
                 tracer.current = event.ctx

@@ -180,6 +180,11 @@ class Network:
             # The delivery event carries a child context: the sender's
             # causal chain extended by this hop (cross-DC hops deepen it).
             event.ctx = tracer.on_send(msg, src, dst, delay)
+        digest = self.kernel.digest
+        if digest is not None:
+            digest.on_send(self.kernel.now, event.seq, src.node_id,
+                           dst_id, msg.type_name, msg.size_bytes(),
+                           event.ctx)
 
     def _deliver(self, msg: Message, dst: "Node") -> None:
         if dst.crashed or self.is_partitioned(msg.src, msg.dst):

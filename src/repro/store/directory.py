@@ -54,7 +54,15 @@ class PartitionInfo:
         return None
 
     def followers(self) -> List[str]:
-        """Replicas other than the leader."""
+        """Replicas other than the leader, in group order.
+
+        Ordering contract: the result preserves ``replicas`` order (the
+        registration order of the group), with the leader removed.  Fan-out
+        loops over followers therefore iterate in a deterministic order
+        that does not depend on hashing or on which node is leader.  A
+        leader change only deletes one element; it never permutes the
+        rest.  Tests pin this contract (test_followers_order).
+        """
         return [r for r in self.replicas if r != self.leader]
 
 

@@ -131,13 +131,21 @@ def _force_tapir_mismatch(cluster, keys: tuple, client_dc: str) -> None:
 
 def run_traced(system: str, *, seed: int = 42, client_dc: str = "us-west",
                n_txns: int = 1, read_only: bool = False,
-               force_slow_path: bool = False) -> TraceRun:
+               force_slow_path: bool = False,
+               digest_sink=None) -> TraceRun:
     """Run ``n_txns`` traced two-partition transactions on ``system``.
 
     Returns a :class:`TraceRun` whose ``txn_traces`` hold one completed
     :class:`~repro.trace.tracer.TxnTrace` per transaction.
+
+    ``digest_sink``, if given, is installed as the kernel's event digest
+    (see :mod:`repro.analysis.digest`) *before* the cluster runs, so the
+    digest covers bootstrap as well — the divergence bisector compares
+    whole runs, noise included.
     """
     cluster = _build_cluster(system, seed)
+    if digest_sink is not None:
+        cluster.kernel.digest = digest_sink
     cluster.run(500)  # settle elections/bootstrap before tracing
 
     if system == "tapir":

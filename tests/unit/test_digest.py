@@ -1,0 +1,96 @@
+"""Digest recorder tests: record format, kernel/network hooks, round-trip."""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.digest import DigestRecorder, parse_send_fields
+from repro.sim.kernel import Kernel
+from repro.sim.message import Message
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.topology import ec2_five_regions
+
+
+@dataclass
+class Ping(Message):
+    payload: str = "ping"
+
+
+class Echo(Node):
+    """Replies to every ping once."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received: List = []
+
+    def handle_message(self, msg):
+        self.received.append(msg)
+        if isinstance(msg, Ping) and msg.payload == "ping":
+            self.send(msg.src, Ping(payload="pong"))
+
+
+def run_digested(record_events=True):
+    kernel = Kernel(seed=1)
+    net = Network(kernel, ec2_five_regions(), jitter_fraction=0.0)
+    digest = DigestRecorder(record_events=record_events)
+    kernel.digest = digest
+    a = Echo("a", "us-west", kernel, net)
+    Echo("b", "us-east", kernel, net)
+    a.send("b", Ping())
+    kernel.run()
+    return digest
+
+
+def test_send_records_capture_route_type_and_bytes():
+    digest = run_digested()
+    sends = [r for r in digest.records if r.startswith("S ")]
+    assert len(sends) == 2
+    first = parse_send_fields(sends[0])
+    assert first["route"] == "a->b"
+    assert first["type"] == "Ping"
+    assert int(first["bytes"]) > 0
+    reply = parse_send_fields(sends[1])
+    assert reply["route"] == "b->a"
+
+
+def test_event_records_are_ordered_and_optional():
+    digest = run_digested()
+    events = [r for r in digest.records if r.startswith("E ")]
+    assert len(events) == 2  # two deliveries
+    seqs = [int(r.split("seq=")[1]) for r in events]
+    assert seqs == sorted(seqs)
+    sends_only = run_digested(record_events=False)
+    assert all(r.startswith("S ") for r in sends_only.records)
+
+
+def test_identical_runs_produce_identical_digests():
+    assert run_digested().records == run_digested().records
+
+
+def test_untraced_send_has_none_trace_fields():
+    digest = run_digested()
+    fields = parse_send_fields(digest.records[0])
+    assert fields["tid"] == "None"
+    assert fields["msg"] == "None"
+    assert fields["parent"] == "None"
+
+
+def test_parse_send_fields_rejects_event_records():
+    assert parse_send_fields("E t=1.000000 seq=3") == {}
+
+
+def test_write_read_round_trip(tmp_path):
+    digest = run_digested()
+    out = tmp_path / "digest.txt"
+    digest.write(str(out))
+    assert DigestRecorder.read(str(out)) == digest.records
+
+
+def test_kernel_without_digest_is_unaffected():
+    kernel = Kernel(seed=1)
+    net = Network(kernel, ec2_five_regions(), jitter_fraction=0.0)
+    a = Echo("a", "us-west", kernel, net)
+    Echo("b", "us-east", kernel, net)
+    a.send("b", Ping())
+    kernel.run()
+    assert kernel.digest is None

@@ -29,6 +29,28 @@ class FakeClock:
         return self.now
 
 
+class TestFollowersOrder:
+    """Pins the followers() ordering contract (see PartitionInfo)."""
+
+    def test_followers_preserve_group_order(self):
+        info = PartitionInfo("p0", ["n2", "n0", "n1"],
+                             ["dc0", "dc1", "dc2"], "n0")
+        assert info.followers() == ["n2", "n1"]
+
+    def test_leader_change_deletes_without_permuting(self):
+        directory = DirectoryService()
+        directory.register(PartitionInfo("p0", ["n0", "n1", "n2", "n3"],
+                                         ["d0", "d1", "d2", "d3"], "n0"))
+        assert directory.lookup("p0").followers() == ["n1", "n2", "n3"]
+        directory.set_leader("p0", "n2")
+        assert directory.lookup("p0").followers() == ["n0", "n1", "n3"]
+
+    def test_followers_stable_across_lookups(self):
+        directory = make_authority()
+        assert (directory.lookup("p0").followers()
+                == directory.lookup("p0").followers())
+
+
 class TestDirectoryCache:
     def test_caches_within_ttl(self):
         authority = make_authority()
