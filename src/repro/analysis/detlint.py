@@ -119,7 +119,11 @@ class LintConfig:
     """
 
     wallclock_allowed: Tuple[str, ...] = ("bench/",)
-    random_allowed: Tuple[str, ...] = ("sim/kernel.py", "workloads/")
+    # chaos/ generates nemesis schedules and workload plans from RNGs
+    # string-seeded by the run seed before the simulation starts, the
+    # same pattern as workloads/.
+    random_allowed: Tuple[str, ...] = ("sim/kernel.py", "workloads/",
+                                       "chaos/")
 
 
 def _path_allowed(path: str, fragments: Sequence[str]) -> bool:

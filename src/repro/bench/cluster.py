@@ -196,11 +196,12 @@ class LayeredCluster(_BaseCluster):
     :mod:`repro.layered`)."""
 
     def __init__(self, spec: Optional[DeploymentSpec] = None,
-                 raft_config=None, result_hook=None):
+                 raft_config=None, retry_policy=None, result_hook=None):
         from repro.layered.client import LayeredClient
         from repro.layered.server import LayeredServer
 
         super().__init__(spec or DeploymentSpec())
+        self.retry_policy = retry_policy
         self.servers: Dict[str, LayeredServer] = {}
         slots: Dict[str, int] = {dc: 0 for dc in self.topology.datacenters}
         replica_ids: Dict[str, List[str]] = {}
@@ -213,6 +214,7 @@ class LayeredCluster(_BaseCluster):
                     self.servers[server_id] = LayeredServer(
                         server_id, dc, self.kernel, self.network,
                         self.directory, raft_config=raft_config,
+                        retry_policy=retry_policy,
                         service_time_ms=self.spec.server_service_time_ms)
                 ids.append(server_id)
                 dcs.append(dc)
@@ -230,7 +232,8 @@ class LayeredCluster(_BaseCluster):
             for i in range(self.spec.clients_per_dc):
                 client = LayeredClient(
                     f"client-{dc}-{i}", dc, self.kernel, self.network,
-                    self.directory, self.ring, result_hook=result_hook)
+                    self.directory, self.ring,
+                    retry_policy=retry_policy, result_hook=result_hook)
                 per_dc.append(client)
                 self.clients.append(client)
             self._clients_by_dc[dc] = per_dc

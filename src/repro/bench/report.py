@@ -70,6 +70,19 @@ def render_throughput_sweep(
         ["system", "target (tps)", "committed (tps)", "abort rate"], rows)
 
 
+def render_link_faults(rows: List[Tuple[str, str, int, int, int,
+                                        int, int]]) -> str:
+    """Per-link fault counters (``repro.sim.stats.link_fault_summary``
+    rows) rendered as the chaos report's lossiness table."""
+    table_rows = [[src, dst, str(sent), str(delivered), str(dropped),
+                   str(duplicated), str(delayed)]
+                  for src, dst, sent, delivered, dropped, duplicated,
+                  delayed in rows]
+    return format_table(
+        ["link src", "link dst", "sent", "delivered", "dropped",
+         "duplicated", "delayed"], table_rows)
+
+
 def render_bandwidth(rows: Dict[str, Dict[str, float]]) -> str:
     """``rows[label][role_direction] = Mbps`` rendered as Figure 7."""
     headers = ["system", "client send", "client recv",

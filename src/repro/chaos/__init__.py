@@ -1,0 +1,54 @@
+"""repro.chaos — deterministic nemesis harness.
+
+Jepsen-style robustness testing inside the simulator: seeded random
+timelines of crashes, flapping, partitions, and adversarial link faults
+(:mod:`repro.chaos.nemesis`) run against a seeded workload on any of the
+four systems, checked by safety and liveness oracles
+(:mod:`repro.chaos.oracles`), with failing schedules shrunk to minimal
+reproducing subsequences (:mod:`repro.chaos.minimize`).  Everything is
+derived from the run seed, so every failure is a replayable
+counterexample.  CLI: ``python -m repro chaos``.
+"""
+
+from repro.chaos.bugs import PLANTABLE_BUGS, planted_writeback_bug
+from repro.chaos.minimize import minimize_schedule
+from repro.chaos.nemesis import (
+    KIND_CRASH,
+    KIND_FLAP,
+    KIND_LINK,
+    KIND_PARTITION,
+    NemesisEvent,
+    apply_schedule,
+    generate_schedule,
+    schedule_horizon,
+)
+from repro.chaos.oracles import OracleViolation
+from repro.chaos.runner import (
+    SYSTEMS,
+    ChaosOptions,
+    ChaosRunResult,
+    ClusterAdapter,
+    canonical_system,
+    run_chaos,
+)
+
+__all__ = [
+    "KIND_CRASH",
+    "KIND_FLAP",
+    "KIND_LINK",
+    "KIND_PARTITION",
+    "NemesisEvent",
+    "OracleViolation",
+    "PLANTABLE_BUGS",
+    "SYSTEMS",
+    "ChaosOptions",
+    "ChaosRunResult",
+    "ClusterAdapter",
+    "apply_schedule",
+    "canonical_system",
+    "generate_schedule",
+    "minimize_schedule",
+    "planted_writeback_bug",
+    "run_chaos",
+    "schedule_horizon",
+]

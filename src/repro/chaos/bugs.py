@@ -1,0 +1,48 @@
+"""Known-bug planting, to validate that the chaos oracles catch bugs.
+
+Each plant is a context-manager factory that monkeypatches a protocol
+handler for the duration of a run and restores the original on exit
+(the pattern :mod:`repro.analysis.divergence` uses for its demo bug).
+``run_chaos(..., planted_bug=...)`` keeps the patch active for the whole
+run, so the harness can demonstrate end to end that a seeded nemesis
+schedule finds the bug and minimizes to a small counterexample.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def planted_writeback_bug():
+    """Revert the Carousel participant's writeback idempotence.
+
+    With this patch, a duplicate ``Writeback`` for an already-resolved
+    transaction re-applies the writes *directly* to the leader's store
+    (bypassing Raft) instead of just re-acking.  Any duplicate delivery
+    — a network-duplicated writeback, or a retransmission after a lost
+    ``WritebackAck`` — then bumps the leader's version past its
+    followers', which the ``replica-divergence`` and ``value-parity``
+    oracles both catch.  Only affects the Carousel systems.
+    """
+    from repro.core import participant as participant_mod
+
+    original = participant_mod.PartitionComponent.on_writeback
+
+    def buggy(self, msg):
+        if (not self.recovering and self.is_leader
+                and msg.tid in self.resolved
+                and msg.decision == participant_mod.COMMIT):
+            for key, value in msg.writes.items():
+                self.store.write(key, value, self.store.version(key) + 1)
+        original(self, msg)
+
+    participant_mod.PartitionComponent.on_writeback = buggy
+    try:
+        yield
+    finally:
+        participant_mod.PartitionComponent.on_writeback = original
+
+
+#: Name -> context-manager factory, for the CLI's ``--plant-bug``.
+PLANTABLE_BUGS = {"writeback-dup": planted_writeback_bug}

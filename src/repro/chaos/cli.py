@@ -1,0 +1,169 @@
+"""``python -m repro chaos`` — the nemesis harness entry point.
+
+Runs seeded chaos scenarios against one system (or all four), reports
+per-seed oracle outcomes, and on the first failure shrinks the nemesis
+schedule to a minimal reproducing subsequence and prints it together
+with the failing seed, the nemesis timeline, and the causal chain of
+messages behind the violating transaction.
+
+Examples::
+
+    python -m repro chaos --system carousel-fast --seeds 0..9
+    python -m repro chaos --system all --seeds 0..2 --rounds 15
+    python -m repro chaos --system carousel-fast --seeds 0..9 \\
+        --plant-bug writeback-dup
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.bench.report import render_link_faults
+from repro.chaos.bugs import PLANTABLE_BUGS
+from repro.chaos.minimize import minimize_schedule
+from repro.chaos.oracles import OracleViolation
+from repro.chaos.runner import (
+    SYSTEMS,
+    ChaosOptions,
+    ChaosRunResult,
+    canonical_system,
+    run_chaos,
+)
+from repro.trace.tracer import SPAN_NEMESIS
+
+
+def parse_seeds(text: str) -> List[int]:
+    """Parse ``"0..9"``, ``"3"``, or ``"1,4,7"`` into a seed list."""
+    seeds: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if ".." in part:
+            lo, hi = part.split("..", 1)
+            start, stop = int(lo), int(hi)
+            if stop < start:
+                raise ValueError(f"empty seed range {part!r}")
+            seeds.extend(range(start, stop + 1))
+        elif part:
+            seeds.append(int(part))
+    if not seeds:
+        raise ValueError(f"no seeds in {text!r}")
+    return seeds
+
+
+def _print_violations(violations: Sequence[OracleViolation],
+                      limit: int = 8) -> None:
+    for violation in violations[:limit]:
+        print(f"    {violation}")
+    if len(violations) > limit:
+        print(f"    ... and {len(violations) - limit} more")
+
+
+def _report_counterexample(system: str, seed: int, result: ChaosRunResult,
+                           opts: ChaosOptions, planted_bug) -> None:
+    """Minimize the failing schedule and print the counterexample report."""
+    print(f"    minimizing {len(result.schedule)}-event nemesis "
+          "schedule (deterministic replays)...")
+
+    def still_fails(candidate):
+        rerun = run_chaos(system, seed, opts, schedule=candidate,
+                          planted_bug=planted_bug)
+        return not rerun.ok
+
+    minimal = minimize_schedule(result.schedule, still_fails)
+    print(f"    minimal reproduction: seed {seed}, {len(minimal)} of "
+          f"{len(result.schedule)} nemesis events:")
+    for i, event in enumerate(minimal, 1):
+        print(f"      {i}. {event.describe()}")
+
+    # Replay the minimal schedule with tracing for the causal chain.
+    traced = run_chaos(system, seed, replace(opts, trace=True),
+                       schedule=minimal, planted_bug=planted_bug)
+    _print_violations(traced.violations)
+    tid = next((v.tid for v in traced.violations if v.tid is not None),
+               None)
+    tracer = traced.tracer
+    if tracer is not None:
+        nemesis_spans = [s for s in tracer.orphan_spans
+                         if s.kind == SPAN_NEMESIS]
+        if nemesis_spans:
+            print("    nemesis timeline during reproduction:")
+            for span in nemesis_spans:
+                print(f"      {span.start_ms:9.1f}ms  {span.detail}")
+        txn = tracer.get(tid) if tid is not None else None
+        if txn is not None:
+            print(f"    causal trace chain for txn {tid} "
+                  "(client-observed critical path):")
+            for ann in txn.critical_path():
+                wan = "WAN" if ann.cross_dc else "local"
+                print(f"      {ann.send_ms:9.1f}ms  {ann.msg_type} "
+                      f"{ann.src} -> {ann.dst} [{wan}] "
+                      f"hops={ann.wan_hops}")
+    if traced.link_rows:
+        print("    per-link fault counters:")
+        for line in render_link_faults(traced.link_rows).splitlines():
+            print(f"      {line}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; ``argv`` includes the leading ``chaos`` verb."""
+    argv = list(argv) if argv is not None else []
+    if argv and argv[0] == "chaos":
+        argv = argv[1:]
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Deterministic nemesis harness: adversarial faults, "
+                    "safety/liveness oracles, schedule minimization.")
+    parser.add_argument("--system", default="carousel-fast",
+                        help="carousel-basic|carousel-fast|layered|tapir|"
+                             "all (aliases: basic, fast)")
+    parser.add_argument("--seeds", default="0..4",
+                        help='seed set: "0..9", "3", or "1,4,7"')
+    parser.add_argument("--rounds", type=int, default=25,
+                        help="workload transactions per run")
+    parser.add_argument("--events", type=int, default=6,
+                        help="nemesis events per schedule")
+    parser.add_argument("--plant-bug", choices=sorted(PLANTABLE_BUGS),
+                        default=None,
+                        help="activate a known bug to validate the oracles")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="report failures without shrinking schedules")
+    args = parser.parse_args(argv)
+
+    systems = list(SYSTEMS) if args.system == "all" else [
+        canonical_system(args.system)]
+    seeds = parse_seeds(args.seeds)
+    opts = ChaosOptions(rounds=args.rounds, n_events=args.events)
+    planted_bug = PLANTABLE_BUGS.get(args.plant_bug)
+
+    failures = 0
+    for system in systems:
+        plant_note = (f" plant-bug={args.plant_bug}"
+                      if args.plant_bug else "")
+        print(f"chaos: system={system} seeds={args.seeds} "
+              f"rounds={opts.rounds} events={opts.n_events}{plant_note}")
+        for seed in seeds:
+            result = run_chaos(system, seed, opts,
+                               planted_bug=planted_bug)
+            dropped = sum(row[4] for row in result.link_rows)
+            duplicated = sum(row[5] for row in result.link_rows)
+            if result.ok:
+                print(f"  seed {seed}: ok    committed={result.committed}"
+                      f" aborted={result.aborted}"
+                      f" nemesis={len(result.schedule)}"
+                      f" drops={dropped} dups={duplicated}")
+                continue
+            failures += 1
+            print(f"  seed {seed}: FAIL  "
+                  f"{len(result.violations)} oracle violation(s)")
+            _print_violations(result.violations)
+            if not args.no_minimize:
+                _report_counterexample(system, seed, result, opts,
+                                       planted_bug)
+            # One counterexample is the deliverable; stop scanning.
+            return 1
+    total = len(systems) * len(seeds)
+    print(f"chaos: all oracles green ({total} run(s), "
+          f"{len(systems)} system(s))")
+    return 0

@@ -1,0 +1,60 @@
+"""Schedule minimization: shrink a failing nemesis timeline.
+
+Given a schedule whose run violates an oracle, find a small *subsequence*
+that still fails.  Events keep their original absolute times — a
+subsequence is the same timeline with some faults simply not injected —
+so each candidate replays deterministically through
+:func:`repro.chaos.runner.run_chaos`.
+
+The strategy mirrors :mod:`repro.analysis.divergence`'s bisection: try
+each event alone (most planted bugs need exactly one fault window), then
+bisect halves, then greedily drop one event at a time until the result
+is 1-minimal (removing any single remaining event makes the failure
+disappear).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+Event = TypeVar("Event")
+
+
+def minimize_schedule(events: Sequence[Event],
+                      still_fails: Callable[[List[Event]], bool]
+                      ) -> List[Event]:
+    """Shrink ``events`` to a 1-minimal failing subsequence.
+
+    ``still_fails(candidate)`` re-runs the scenario with only the
+    candidate events injected and reports whether an oracle still
+    trips.  The caller must already know the full schedule fails; an
+    empty input returns empty.
+    """
+    current = list(events)
+    if len(current) <= 1:
+        return current
+    # Fast path: one event alone often reproduces the failure.
+    for event in current:
+        if still_fails([event]):
+            return [event]
+    # Bisection: keep whichever half still fails, while one does.
+    while len(current) > 2:
+        half = len(current) // 2
+        first, second = current[:half], current[half:]
+        if still_fails(first):
+            current = first
+        elif still_fails(second):
+            current = second
+        else:
+            break
+    # Greedy pass: drop single events until 1-minimal.
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1:]
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+                break
+    return current

@@ -10,6 +10,7 @@ Usage::
 
     python -m repro lint src/            # determinism linter (detlint)
     python -m repro divergence --system basic   # dual-run hash-seed check
+    python -m repro chaos --system carousel-fast --seeds 0..9  # nemesis
 
     python -m repro fig4 [--scale full]
     python -m repro fig5 [--scale full]  # shares the sweep with fig6
@@ -215,6 +216,10 @@ def main(argv=None) -> int:
         # Determinism-sanitizer subcommands live in repro.analysis.
         from repro.analysis.cli import main as analysis_main
         return analysis_main(argv)
+    if argv and argv[0] == "chaos":
+        # The nemesis harness lives in repro.chaos.
+        from repro.chaos.cli import main as chaos_main
+        return chaos_main(argv)
     args = build_parser().parse_args(argv)
     args._sweep_cache = None
     COMMANDS[args.experiment](args)

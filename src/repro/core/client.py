@@ -354,8 +354,11 @@ class CarouselClient(Node):
         self._arm_heartbeat(txn)
 
     def _arm_retry(self, txn: _ClientTxn) -> None:
-        txn.retry_timer = self.set_timer(
-            self.config.client_retry_ms, self._retry, txn)
+        # Capped exponential backoff keyed by this transaction's retry
+        # count; the degenerate policy is the historical fixed interval.
+        delay = self.config.retry_policy.delay_ms(txn.retries,
+                                                  self.kernel.random)
+        txn.retry_timer = self.set_timer(delay, self._retry, txn)
 
     def _retry(self, txn: _ClientTxn) -> None:
         """Retransmit the current phase against (possibly new) leaders."""
@@ -376,6 +379,16 @@ class CarouselClient(Node):
             self._send_read_prepare(txn)
         elif txn.phase == PHASE_COMMIT:
             self._refresh_coordinator(txn)
+            # A successor coordinator elected before the read/write sets
+            # replicated holds no record of this transaction, and the
+            # commit request alone cannot create one (it carries no
+            # participant sets).  Re-register first: on_coord_prepare
+            # ignores duplicates, so this is safe for the common case
+            # where the coordinator already knows the transaction.
+            self.send(txn.coordinator_id, CoordPrepareRequest(
+                tid=txn.tid, client_id=self.node_id,
+                group_id=txn.coord_group_id,
+                participants=dict(txn.participants)))
             self._send_commit(txn)
         self._arm_retry(txn)
 

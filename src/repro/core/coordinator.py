@@ -82,6 +82,9 @@ class CoordTxnState:
     reason: str = ""
     replied: bool = False
     writeback_acks: Set[str] = field(default_factory=set)
+    #: Retransmission counters driving the backoff schedules.
+    requery_attempts: int = 0
+    writeback_attempts: int = 0
     last_heartbeat_ms: float = 0.0
     heartbeat_timer: Any = None
     writeback_timer: Any = None
@@ -154,7 +157,12 @@ class CoordinatorComponent:
             state = CoordTxnState(tid=msg.tid)
             self.states[msg.tid] = state
         if state.sets_replicated or state.participants:
-            return  # duplicate registration
+            # Duplicate registration.  If the transaction was already
+            # decided (e.g. a heartbeat-timeout abort whose TxnReply was
+            # lost), retransmit the reply so the client can terminate.
+            if state.decision is not None:
+                self._reply(state, force=True)
+            return
         state.client_id = msg.client_id
         state.group_id = msg.group_id
         state.participants = dict(msg.participants)
@@ -176,7 +184,10 @@ class CoordinatorComponent:
         if state is None or not self._is_leader_of(state.group_id):
             return  # unknown here; client retry will find the new leader
         if state.decision is not None:
-            self._reply(state)
+            # A retransmitted commit request after the decision was made
+            # usually means the original TxnReply was lost: re-send it
+            # even though `replied` is already set.
+            self._reply(state, force=True)
             return
         if state.commit_requested:
             # Retransmission — possibly to a successor coordinator that
@@ -338,13 +349,16 @@ class CoordinatorComponent:
 
     def _arm_requery(self, state: CoordTxnState) -> None:
         self._cancel_timer(state, "requery_timer")
+        delay = self.config.retry_policy.delay_ms(
+            state.requery_attempts, self.server.kernel.random)
         state.requery_timer = self.server.set_timer(
-            self.config.client_retry_ms, self._requery_prepares, state)
+            delay, self._requery_prepares, state)
 
     def _requery_prepares(self, state: CoordTxnState) -> None:
         if state.decision is not None or \
                 not self._is_leader_of(state.group_id):
             return
+        state.requery_attempts += 1
         # Sorted so query order never depends on dict insertion history.
         for pid, sets in sorted(state.participants.items()):
             if pid in state.decisions:
@@ -370,8 +384,12 @@ class CoordinatorComponent:
                                                decision=decision))
         self._send_writebacks(state)
 
-    def _reply(self, state: CoordTxnState) -> None:
-        if state.replied or not state.client_id:
+    def _reply(self, state: CoordTxnState, force: bool = False) -> None:
+        """Send the client its TxnReply.  ``force`` retransmits even when
+        one was already sent (the client asked again, so it was lost)."""
+        if (state.replied and not force) or not state.client_id:
+            return
+        if state.decision is None:
             return
         state.replied = True
         self._send(state.client_id, TxnReply(
@@ -410,13 +428,16 @@ class CoordinatorComponent:
                 tid=state.tid, partition_id=pid,
                 decision=state.decision, writes=writes))
         self._cancel_timer(state, "writeback_timer")
+        delay = self.config.retry_policy.delay_ms(
+            state.writeback_attempts, self.server.kernel.random)
         state.writeback_timer = self.server.set_timer(
-            self.config.client_retry_ms, self._retry_writebacks, state)
+            delay, self._retry_writebacks, state)
 
     def _retry_writebacks(self, state: CoordTxnState) -> None:
         if state.tid in self.finished:
             return
         if self._is_leader_of(state.group_id):
+            state.writeback_attempts += 1
             self._send_writebacks(state)
 
     def _finish(self, state: CoordTxnState) -> None:

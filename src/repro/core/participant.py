@@ -13,7 +13,7 @@ protocol.  The same component serves both roles:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional
 
 from repro.core import recovery as recovery_mod
 from repro.core.messages import (
@@ -57,8 +57,13 @@ class PartitionComponent:
         #: Replicated prepare decisions: tid -> PrepareRecord.
         self.prepare_log: Dict[TID, PrepareRecord] = {}
         self.member: Optional[RaftMember] = None
-        self._preparing: Set[TID] = set()
-        self._writeback_inflight: Set[TID] = set()
+        #: In-flight proposals keyed to the term they were proposed in.
+        #: A marker from an older term means the entry (and its reply
+        #: callback) died with that leadership — Raft drops commit
+        #: callbacks on step-down — so a retransmission must re-propose
+        #: rather than be deduplicated against a dead proposal.
+        self._preparing: Dict[TID, int] = {}
+        self._writeback_inflight: Dict[TID, int] = {}
         #: Requests buffered while CPC leader recovery runs (§4.3.3 step 1).
         self.recovering = False
         self._buffered: List = []
@@ -142,21 +147,21 @@ class PartitionComponent:
             self._send(msg.src, WritebackAck(
                 tid=tid, partition_id=self.partition_id))
             return
-        if tid in self._writeback_inflight:
+        if self._writeback_inflight.get(tid) == self.member.current_term:
             return
-        self._writeback_inflight.add(tid)
+        self._writeback_inflight[tid] = self.member.current_term
         record = CommitRecord(
             tid=tid, partition_id=self.partition_id,
             decision=msg.decision, writes=tuple(msg.writes.items()))
         coordinator = msg.src
 
         def replicated(_entry):
-            self._writeback_inflight.discard(tid)
+            self._writeback_inflight.pop(tid, None)
             self._send(coordinator, WritebackAck(
                 tid=tid, partition_id=self.partition_id))
 
         if self.member.propose(record, on_committed=replicated) is None:
-            self._writeback_inflight.discard(tid)
+            self._writeback_inflight.pop(tid, None)
 
     def on_prepare_query(self, msg: PrepareQuery) -> None:
         """A recovered coordinator re-requests our prepare result
@@ -206,7 +211,7 @@ class PartitionComponent:
                 decision=record.decision,
                 read_versions=record.read_versions))
             return
-        if tid in self._preparing:
+        if self._preparing.get(tid) == self.member.current_term:
             return  # replication in flight; the result will be sent
 
         self.prepares_attempted += 1
@@ -238,7 +243,7 @@ class PartitionComponent:
             read_versions=versions, term=term,
             coordinator_id=msg.coordinator_id,
             coord_group_id=msg.coord_group_id)
-        self._preparing.add(tid)
+        self._preparing[tid] = term
         tracer = self.server.tracer
         span = None
         if tracer.enabled:
@@ -248,7 +253,7 @@ class PartitionComponent:
 
         def replicated(_entry):
             # Slow-path completion: decision is durable, report it (§4.1.4).
-            self._preparing.discard(tid)
+            self._preparing.pop(tid, None)
             self.server.tracer.span_end(span)
             self._send(record.coordinator_id, PrepareResult(
                 tid=tid, partition_id=self.partition_id,
@@ -256,7 +261,7 @@ class PartitionComponent:
                 read_versions=record.read_versions))
 
         if self.member.propose(record, on_committed=replicated) is None:
-            self._preparing.discard(tid)
+            self._preparing.pop(tid, None)
             self.server.tracer.span_end(span)
 
     def _follower_fast_vote(self, msg: ReadPrepareRequest) -> None:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Set
 
+from repro.core.backoff import RetryPolicy
 from repro.core.messages import PartitionSets
 from repro.layered.messages import (
     LayeredCommitRequest,
@@ -50,6 +51,7 @@ class _LayeredTxn:
     versions: Dict[str, int] = field(default_factory=dict)
     writes: Dict[str, Any] = field(default_factory=dict)
     retry_timer: Any = None
+    retries: int = 0
     #: Tracing: the open client phase span (read/commit).
     phase_span: Any = None
 
@@ -59,11 +61,14 @@ class LayeredClient(Node):
 
     def __init__(self, node_id: str, dc: str, kernel, network, directory,
                  partitioner, retry_ms: float = 10_000.0,
+                 retry_policy: Optional[RetryPolicy] = None,
                  result_hook: Optional[CompletionCallback] = None):
         super().__init__(node_id, dc, kernel, network)
         self.directory = directory
         self.partitioner = partitioner
         self.retry_ms = retry_ms
+        # Default: the degenerate fixed-interval policy (no RNG draws).
+        self.retry_policy = retry_policy or RetryPolicy(base_ms=retry_ms)
         self.result_hook = result_hook
         self._counter = 0
         self._active: Dict[TID, _LayeredTxn] = {}
@@ -103,8 +108,13 @@ class LayeredClient(Node):
             self._send_reads(txn)
         else:
             self._enter_commit(txn)
-        txn.retry_timer = self.set_timer(self.retry_ms, self._retry, txn)
+        self._arm_retry(txn)
         return tid
+
+    def _arm_retry(self, txn: _LayeredTxn) -> None:
+        delay = self.retry_policy.delay_ms(txn.retries,
+                                           self.kernel.random)
+        txn.retry_timer = self.set_timer(delay, self._retry, txn)
 
     def _choose_coordinator(self, txn: _LayeredTxn) -> None:
         local = self.directory.leaders_in(self.dc)
@@ -179,13 +189,14 @@ class LayeredClient(Node):
     def _retry(self, txn: _LayeredTxn) -> None:
         if txn.phase == PHASE_DONE:
             return
+        txn.retries += 1
         if txn.phase == PHASE_READ:
             self._send_reads(txn)
         else:
             txn.coordinator_id = self.directory.lookup(
                 txn.coord_group_id).leader
             self._send_commit(txn)
-        txn.retry_timer = self.set_timer(self.retry_ms, self._retry, txn)
+        self._arm_retry(txn)
 
     def handle_message(self, msg: Message) -> None:
         if isinstance(msg, LayeredReadReply):

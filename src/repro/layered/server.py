@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.core.backoff import RetryPolicy
 from repro.core.messages import PartitionSets
 from repro.core.occ import ABORT, PREPARED, PendingList, PendingTxn, \
     freeze_versions
@@ -47,7 +48,14 @@ class _LayeredPartition:
         self.resolved: Dict[TID, str] = {}
         self.prepare_decisions: Dict[TID, str] = {}
         self.member: Optional[RaftMember] = None
-        self._inflight: Set[TID] = set()
+        #: Proposals awaiting replication, keyed to the term they were
+        #: proposed in.  A marker from an older term is dead weight: the
+        #: entry (and its ack callback) died with that leadership, so a
+        #: retransmission must re-propose rather than be deduplicated.
+        self._inflight: Dict[TID, int] = {}
+
+    def _proposal_inflight(self, tid: TID) -> bool:
+        return self._inflight.get(tid) == self.member.current_term
 
     @property
     def is_leader(self) -> bool:
@@ -78,7 +86,7 @@ class _LayeredPartition:
                 tid=tid, partition_id=self.partition_id,
                 decision=self.prepare_decisions[tid]))
             return
-        if tid in self._inflight:
+        if self._proposal_inflight(tid):
             return
         read_versions = dict(msg.read_versions)
         # OCC validation: reads happened a round earlier, so versions are
@@ -99,16 +107,16 @@ class _LayeredPartition:
             read_keys=tuple(read_versions), write_keys=msg.write_keys,
             read_versions=freeze_versions(read_versions))
         coordinator = msg.src
-        self._inflight.add(tid)
+        self._inflight[tid] = self.member.current_term
 
         def replicated(__):
-            self._inflight.discard(tid)
+            self._inflight.pop(tid, None)
             self.server.send(coordinator, LayeredPrepareAck(
                 tid=tid, partition_id=self.partition_id,
                 decision=decision))
 
         if self.member.propose(record, on_committed=replicated) is None:
-            self._inflight.discard(tid)
+            self._inflight.pop(tid, None)
 
     def on_writeback(self, msg: LayeredWriteback) -> None:
         if not self.is_leader:
@@ -118,26 +126,39 @@ class _LayeredPartition:
             self.server.send(msg.src, LayeredWritebackAck(
                 tid=tid, partition_id=self.partition_id))
             return
-        if tid in self._inflight:
+        if self._proposal_inflight(tid):
             return
         record = LayeredCommitRecord(
             tid=tid, partition_id=self.partition_id,
             decision=msg.decision, writes=tuple(msg.writes.items()))
         coordinator = msg.src
-        self._inflight.add(tid)
+        self._inflight[tid] = self.member.current_term
 
         def replicated(__):
-            self._inflight.discard(tid)
+            self._inflight.pop(tid, None)
             self.server.send(coordinator, LayeredWritebackAck(
                 tid=tid, partition_id=self.partition_id))
 
         if self.member.propose(record, on_committed=replicated) is None:
-            self._inflight.discard(tid)
+            self._inflight.pop(tid, None)
 
     def apply(self, command) -> None:
         if isinstance(command, LayeredPrepareRecord):
             self.prepare_decisions[command.tid] = command.decision
-            if command.decision != PREPARED:
+            if command.decision == PREPARED:
+                # Mirror the pending list on every replica: a successor
+                # leader that cannot see prepared-but-undecided
+                # transactions would validate new ones against thin air
+                # and hand out conflicting prepares (lost updates).
+                if command.tid in self.resolved:
+                    return  # decided later in the log; nothing pending
+                self.pending.add(PendingTxn(
+                    tid=command.tid,
+                    read_keys=frozenset(command.read_keys),
+                    write_keys=frozenset(command.write_keys),
+                    read_versions=command.read_versions,
+                    term=0, coordinator_id=""))
+            else:
                 self.pending.remove(command.tid)
         elif isinstance(command, LayeredCommitRecord):
             if command.tid in self.resolved:
@@ -165,6 +186,8 @@ class _CoordState:
     decision_replicated: bool = False
     replied: bool = False
     writeback_acks: Set[str] = field(default_factory=set)
+    writeback_timer: Any = None
+    writeback_attempts: int = 0
     #: Tracing: open 2PC-prepare and writeback spans.
     trace_prepare_span: Any = None
     trace_writeback_span: Any = None
@@ -174,11 +197,15 @@ class LayeredServer(RaftHost):
     """A data server of the layered baseline."""
 
     def __init__(self, node_id: str, dc: str, kernel, network, directory,
-                 service_time_ms: float = 0.0, raft_config=None):
+                 service_time_ms: float = 0.0, raft_config=None,
+                 retry_policy: Optional[RetryPolicy] = None):
         super().__init__(node_id, dc, kernel, network,
                          service_time_ms=service_time_ms)
         self.directory = directory
         self.raft_config = raft_config
+        # Writeback retransmission schedule; the default matches the
+        # historical fixed client retry interval.
+        self.retry_policy = retry_policy or RetryPolicy(base_ms=10_000.0)
         self.partitions: Dict[str, _LayeredPartition] = {}
         self.coord_states: Dict[TID, _CoordState] = {}
         self.finished: Dict[TID, str] = {}
@@ -239,8 +266,20 @@ class LayeredServer(RaftHost):
                 reason=REASON_COMMITTED if decision == COMMIT
                 else REASON_CONFLICT))
             return
-        if msg.tid in self.coord_states:
-            return  # duplicate; 2PC already in progress
+        state = self.coord_states.get(msg.tid)
+        if state is not None:
+            # Retransmission while 2PC is in progress: a prepare (or its
+            # ack) or our reply may have been lost.  Re-drive whatever
+            # phase is stalled instead of silently waiting forever.
+            if state.decision is None:
+                self._resend_prepares(state)
+            elif state.replied:
+                self.send(msg.src, LayeredReply(
+                    tid=state.tid,
+                    committed=state.decision == COMMIT,
+                    reason=REASON_COMMITTED if state.decision == COMMIT
+                    else REASON_CONFLICT))
+            return
         member = self.members.get(msg.group_id)
         if member is None or not member.is_leader:
             return  # stale directory; client retries
@@ -264,6 +303,21 @@ class LayeredServer(RaftHost):
             leader = self.directory.lookup(pid).leader
             self.send(leader, LayeredPrepare(
                 tid=msg.tid, partition_id=pid, read_versions=versions,
+                write_keys=sets.write_keys))
+
+    def _resend_prepares(self, state: _CoordState) -> None:
+        """Retransmit 2PC prepares to partitions that have not voted;
+        participant leaders re-ack idempotently from ``prepare_decisions``."""
+        # Sorted so retransmission order never depends on dict history.
+        for pid, sets in sorted(state.participants.items()):
+            if pid in state.votes:
+                continue
+            versions = tuple(sorted(
+                (k, state.read_versions.get(k, 0))
+                for k in sets.read_keys))
+            leader = self.directory.lookup(pid).leader
+            self.send(leader, LayeredPrepare(
+                tid=state.tid, partition_id=pid, read_versions=versions,
                 write_keys=sets.write_keys))
 
     def _on_prepare_ack(self, msg: LayeredPrepareAck) -> None:
@@ -307,6 +361,8 @@ class LayeredServer(RaftHost):
         # Sorted so writeback order never depends on insertion history —
         # the bug class detlint's DL001/DL005 exist for.
         for pid, sets in sorted(state.participants.items()):
+            if pid in state.writeback_acks:
+                continue
             writes = {k: state.writes[k] for k in sets.write_keys
                       if k in state.writes} \
                 if state.decision == COMMIT else {}
@@ -314,6 +370,20 @@ class LayeredServer(RaftHost):
             self.send(leader, LayeredWriteback(
                 tid=state.tid, partition_id=pid,
                 decision=state.decision, writes=writes))
+        # A lost writeback (or its ack) would otherwise strand the
+        # transaction — and, for commits, lose the update entirely.
+        if state.writeback_timer is not None:
+            state.writeback_timer.cancel()
+        delay = self.retry_policy.delay_ms(state.writeback_attempts,
+                                           self.kernel.random)
+        state.writeback_timer = self.set_timer(
+            delay, self._retry_writebacks, state)
+
+    def _retry_writebacks(self, state: _CoordState) -> None:
+        if state.tid in self.finished:
+            return
+        state.writeback_attempts += 1
+        self._send_writebacks(state)
 
     def _on_writeback_ack(self, msg: LayeredWritebackAck) -> None:
         state = self.coord_states.get(msg.tid)
@@ -325,5 +395,8 @@ class LayeredServer(RaftHost):
             if tracer.enabled:
                 tracer.span_end(state.trace_writeback_span)
                 state.trace_writeback_span = None
+            if state.writeback_timer is not None:
+                state.writeback_timer.cancel()
+                state.writeback_timer = None
             self.finished[state.tid] = state.decision or ABORT
             del self.coord_states[state.tid]

@@ -1,10 +1,21 @@
-"""Failure injection: fail-stop crashes, recoveries, and partitions.
+"""Failure injection: fail-stop crashes, recoveries, partitions, flapping,
+and windowed link degradation.
 
 The paper assumes the fail-stop model in an asynchronous network (§3.1) and
 requires uninterrupted operation with up to ``f`` simultaneous replica
 failures per partition (§4.3).  The injector schedules crashes, recoveries
 and network partitions at chosen virtual times so that the recovery tests
-and the failure-ablation benchmark can exercise those paths deterministically.
+and the failure-ablation benchmark can exercise those paths
+deterministically.  The chaos harness (:mod:`repro.chaos`) additionally
+uses ``flap_at`` (repeated crash/recover cycles) and
+``degrade_link_at``/``restore_link_at`` (windowed probabilistic
+drop/duplicate/delay on a link, see
+:class:`~repro.sim.network.LinkFaults`).
+
+Every injected event is appended to :attr:`FailureInjector.log` and — when
+a tracer is attached to the kernel — recorded as a ``nemesis`` span with
+``tid=None``, so chaos timelines render fault windows alongside protocol
+spans (they accumulate in ``Tracer.orphan_spans``).
 """
 
 from __future__ import annotations
@@ -12,11 +23,12 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.sim.kernel import Kernel
-from repro.sim.network import Network
+from repro.sim.network import LinkFaults, Network
+from repro.trace.tracer import SPAN_NEMESIS
 
 
 class FailureInjector:
-    """Schedules fail-stop events against a network's nodes."""
+    """Schedules fail-stop and link-fault events against a network."""
 
     def __init__(self, kernel: Kernel, network: Network):
         self.kernel = kernel
@@ -24,11 +36,18 @@ class FailureInjector:
         #: Log of ``(time_ms, action, subject)`` tuples, for assertions.
         self.log: List[Tuple[float, str, str]] = []
 
+    def _note(self, action: str, subject: str) -> None:
+        self.log.append((self.kernel.now, action, subject))
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.point(None, SPAN_NEMESIS,
+                         detail=f"{action} {subject}")
+
     def crash_at(self, node_id: str, at_ms: float) -> None:
         """Crash ``node_id`` at virtual time ``at_ms`` (fail-stop)."""
         def do_crash():
             self.network.node(node_id).crash()
-            self.log.append((self.kernel.now, "crash", node_id))
+            self._note("crash", node_id)
 
         self.kernel.schedule_at(at_ms, do_crash)
 
@@ -36,14 +55,28 @@ class FailureInjector:
         """Recover a previously crashed node at ``at_ms``."""
         def do_recover():
             self.network.node(node_id).recover()
-            self.log.append((self.kernel.now, "recover", node_id))
+            self._note("recover", node_id)
 
         self.kernel.schedule_at(at_ms, do_recover)
 
     def crash_now(self, node_id: str) -> None:
         """Crash ``node_id`` immediately."""
         self.network.node(node_id).crash()
-        self.log.append((self.kernel.now, "crash", node_id))
+        self._note("crash", node_id)
+
+    def flap_at(self, node_id: str, at_ms: float, period_ms: float,
+                cycles: int) -> None:
+        """Repeatedly crash and recover ``node_id``: ``cycles``
+        crash/recover pairs, each phase lasting ``period_ms``.  The node
+        ends up recovered (at ``at_ms + 2 * cycles * period_ms``)."""
+        if period_ms <= 0:
+            raise ValueError("period_ms must be positive")
+        if cycles < 1:
+            raise ValueError("cycles must be at least 1")
+        for i in range(cycles):
+            start = at_ms + 2 * i * period_ms
+            self.crash_at(node_id, start)
+            self.recover_at(node_id, start + period_ms)
 
     def partition_at(self, group_a: List[str], group_b: List[str],
                      at_ms: float) -> None:
@@ -52,8 +85,7 @@ class FailureInjector:
             for a in group_a:
                 for b in group_b:
                     self.network.partition(a, b)
-            self.log.append((self.kernel.now, "partition",
-                             f"{group_a}|{group_b}"))
+            self._note("partition", f"{group_a}|{group_b}")
 
         self.kernel.schedule_at(at_ms, do_partition)
 
@@ -64,7 +96,41 @@ class FailureInjector:
             for a in group_a:
                 for b in group_b:
                     self.network.heal(a, b)
-            self.log.append((self.kernel.now, "heal",
-                             f"{group_a}|{group_b}"))
+            self._note("heal", f"{group_a}|{group_b}")
 
         self.kernel.schedule_at(at_ms, do_heal)
+
+    def degrade_link_at(self, a: str, b: str, at_ms: float,
+                        faults: LinkFaults,
+                        bidirectional: bool = True) -> None:
+        """Install ``faults`` on the ``a``/``b`` link at ``at_ms``."""
+        def do_degrade():
+            self.network.set_link_faults(a, b, faults,
+                                         bidirectional=bidirectional)
+            self._note("degrade-link", f"{a}<->{b} {faults.describe()}")
+
+        self.kernel.schedule_at(at_ms, do_degrade)
+
+    def restore_link_at(self, a: str, b: str, at_ms: float,
+                        bidirectional: bool = True) -> None:
+        """Remove the fault model from the ``a``/``b`` link at ``at_ms``."""
+        def do_restore():
+            self.network.clear_link_faults(a, b,
+                                           bidirectional=bidirectional)
+            self._note("restore-link", f"{a}<->{b}")
+
+        self.kernel.schedule_at(at_ms, do_restore)
+
+    def heal_everything_now(self) -> None:
+        """The chaos harness's final heal: recover every crashed node,
+        drop all partitions, and clear all link faults, immediately."""
+        # Sorted for a deterministic recovery order (recover() arms
+        # election timers, which draw from kernel.random).
+        for node_id in sorted(self.network.nodes):
+            node = self.network.nodes[node_id]
+            if node.crashed:
+                node.recover()
+                self._note("recover", node_id)
+        self.network.heal_all()
+        self.network.clear_all_link_faults()
+        self._note("heal-all", "*")

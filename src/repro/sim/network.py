@@ -1,4 +1,5 @@
-"""Simulated network: message delivery, partitions, bandwidth accounting.
+"""Simulated network: message delivery, partitions, bandwidth accounting,
+and adversarial per-link fault models.
 
 The network connects :class:`~repro.sim.node.Node` instances.  Sending a
 message computes a one-way delay from the topology (RTT/2 between
@@ -6,10 +7,21 @@ datacenters), applies optional deterministic jitter, accounts the message's
 bytes against per-node bandwidth meters, and schedules delivery on the
 kernel.  Crashed destinations and partitioned pairs silently drop messages,
 matching the fail-stop, asynchronous model the paper assumes (§3.1).
+
+Chaos testing (see :mod:`repro.chaos`) additionally attaches
+:class:`LinkFaults` to directed links: probabilistic message drop,
+duplication, and extra-delay spikes.  Fault decisions come from a
+dedicated RNG seeded from the kernel seed — *not* from ``kernel.random``
+— so (a) the same seed always yields the same drop/dup/delay decisions,
+and (b) enabling faults on one link never shifts the RNG stream the
+protocols and jitter draw from.  The fault RNG is consulted only for
+sends on links with faults installed, so fault-free runs are untouched.
 """
 
 from __future__ import annotations
 
+import random
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.sim.kernel import Kernel
@@ -18,6 +30,67 @@ from repro.sim.topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.node import Node
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Adversarial behaviour of one directed link.
+
+    Parameters
+    ----------
+    drop_prob:
+        Probability that a message on this link is silently lost.
+    dup_prob:
+        Probability that a (non-dropped) message is delivered twice; the
+        duplicate trails the original by up to ``dup_lag_ms``.
+    delay_prob / delay_ms:
+        Probability that a (non-dropped) message suffers an extra delay
+        spike, drawn uniformly from ``(0, delay_ms]`` — enough to reorder
+        it behind later traffic on the same link.
+    """
+
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_ms: float = 0.0
+    dup_lag_ms: float = 20.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "dup_prob", "delay_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.delay_prob > 0 and self.delay_ms <= 0:
+            raise ValueError("delay_ms must be positive when delay_prob "
+                             "is nonzero")
+        if self.dup_lag_ms < 0:
+            raise ValueError("dup_lag_ms must be non-negative")
+
+    def describe(self) -> str:
+        """Compact human-readable summary, e.g. ``drop=0.20 dup=0.30``."""
+        parts = []
+        if self.drop_prob:
+            parts.append(f"drop={self.drop_prob:.2f}")
+        if self.dup_prob:
+            parts.append(f"dup={self.dup_prob:.2f}")
+        if self.delay_prob:
+            parts.append(f"delay={self.delay_prob:.2f}"
+                         f"x{self.delay_ms:.0f}ms")
+        return " ".join(parts) or "none"
+
+
+class LinkStats:
+    """Per-link fault counters, kept for every link that ever had faults
+    installed (the fault-free fast path never creates these)."""
+
+    __slots__ = ("sent", "delivered", "dropped", "duplicated", "delayed")
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
 
 
 class BandwidthAccount:
@@ -62,6 +135,15 @@ class Network:
         self._accounting_end: Optional[float] = None
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: Directed-link fault models, installed by the chaos harness.
+        self._link_faults: Dict[Tuple[str, str], LinkFaults] = {}
+        self._link_stats: Dict[Tuple[str, str], LinkStats] = {}
+        # Dedicated fault RNG: string-seeded from the kernel seed
+        # (deterministic across processes, unlike tuple seeds) and
+        # separate from kernel.random so installing faults never shifts
+        # the protocol RNG stream.
+        # detlint: ignore[unseeded-random]
+        self._fault_rng = random.Random(f"link-faults:{kernel.seed}")
         #: Optional hook called as ``trace(msg, delay_ms)`` for every send;
         #: used by the protocol-trace benchmarks (Figures 2 and 3).
         self.trace_hook: Optional[Callable[[Message, float], None]] = None
@@ -141,6 +223,39 @@ class Network:
         return (a, b) in self._partitioned
 
     # ------------------------------------------------------------------
+    # Link faults (chaos harness)
+    # ------------------------------------------------------------------
+    def set_link_faults(self, a: str, b: str, faults: LinkFaults,
+                        bidirectional: bool = True) -> None:
+        """Install an adversarial fault model on the ``a -> b`` link (and,
+        by default, on ``b -> a`` too)."""
+        pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for pair in pairs:
+            self._link_faults[pair] = faults
+            if pair not in self._link_stats:
+                self._link_stats[pair] = LinkStats()
+
+    def clear_link_faults(self, a: str, b: str,
+                          bidirectional: bool = True) -> None:
+        """Remove the fault model from the ``a -> b`` link (counters are
+        kept, so post-run reports still see what happened)."""
+        self._link_faults.pop((a, b), None)
+        if bidirectional:
+            self._link_faults.pop((b, a), None)
+
+    def clear_all_link_faults(self) -> None:
+        """Remove every installed link fault model (counters are kept)."""
+        self._link_faults.clear()
+
+    def link_faults(self, a: str, b: str) -> Optional[LinkFaults]:
+        """The fault model currently on ``a -> b``, if any."""
+        return self._link_faults.get((a, b))
+
+    def link_stats(self) -> Dict[Tuple[str, str], LinkStats]:
+        """Counters for every link that ever had faults installed."""
+        return dict(self._link_stats)
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def send(self, src: "Node", dst_id: str, msg: Message) -> None:
@@ -172,6 +287,40 @@ class Network:
         delay = self.topology.one_way(src.dc, dst.dc)
         if self.jitter_fraction > 0:
             delay *= 1.0 + self.kernel.random.uniform(0, self.jitter_fraction)
+
+        # Adversarial link faults: only links with an installed model pay
+        # for (or draw) anything — `if self._link_faults` is falsy in every
+        # fault-free run, keeping the hot path and RNG streams unchanged.
+        duplicate_delay: Optional[float] = None
+        if self._link_faults:
+            faults = self._link_faults.get((src.node_id, dst_id))
+            if faults is not None:
+                stats = self._link_stats[(src.node_id, dst_id)]
+                stats.sent += 1
+                rng = self._fault_rng
+                if faults.drop_prob > 0 and \
+                        rng.random() < faults.drop_prob:
+                    stats.dropped += 1
+                    self.messages_dropped += 1
+                    return
+                if faults.delay_prob > 0 and \
+                        rng.random() < faults.delay_prob:
+                    delay += rng.uniform(0.0, faults.delay_ms)
+                    stats.delayed += 1
+                if faults.dup_prob > 0 and \
+                        rng.random() < faults.dup_prob:
+                    duplicate_delay = delay + rng.uniform(
+                        0.0, faults.dup_lag_ms)
+                    stats.duplicated += 1
+
+        self._schedule_delivery(src, dst, msg, delay)
+        if duplicate_delay is not None:
+            # The duplicate is a second wire copy: traced, digested, and
+            # delivered independently of the original.
+            self._schedule_delivery(src, dst, msg, duplicate_delay)
+
+    def _schedule_delivery(self, src: "Node", dst: "Node", msg: Message,
+                           delay: float) -> None:
         if self.trace_hook is not None:
             self.trace_hook(msg, delay)
         event = self.kernel.schedule(delay, self._deliver, msg, dst)
@@ -183,7 +332,7 @@ class Network:
         digest = self.kernel.digest
         if digest is not None:
             digest.on_send(self.kernel.now, event.seq, src.node_id,
-                           dst_id, msg.type_name, msg.size_bytes(),
+                           dst.node_id, msg.type_name, msg.size_bytes(),
                            event.ctx)
 
     def _deliver(self, msg: Message, dst: "Node") -> None:
@@ -195,4 +344,8 @@ class Network:
             acct.bytes_received += msg.size_bytes()
             acct.messages_received += 1
         self.messages_delivered += 1
+        if self._link_stats:
+            stats = self._link_stats.get((msg.src, dst.node_id))
+            if stats is not None:
+                stats.delivered += 1
         dst.enqueue(msg)

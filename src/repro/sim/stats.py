@@ -172,3 +172,19 @@ class SeriesRecorder:
         if denom == 0:
             return 0.0
         return self.count(category) / denom
+
+
+def link_fault_summary(network) -> List[Tuple[str, str, int, int, int,
+                                              int, int]]:
+    """Per-link fault counters from a :class:`~repro.sim.network.Network`.
+
+    Rows of ``(src, dst, sent, delivered, dropped, duplicated, delayed)``
+    sorted by link, one per link that ever had a fault model installed —
+    the chaos report's "how lossy was this run" table.  Fault-free runs
+    return an empty list.
+    """
+    rows = []
+    for (src, dst), stats in sorted(network.link_stats().items()):
+        rows.append((src, dst, stats.sent, stats.delivered,
+                     stats.dropped, stats.duplicated, stats.delayed))
+    return rows

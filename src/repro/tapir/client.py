@@ -93,6 +93,7 @@ class _TapirTxn:
     writes: Dict[str, Any] = field(default_factory=dict)
     fast_timer: Any = None
     retry_timer: Any = None
+    retries: int = 0
     committed: Optional[bool] = None
     abort_reason: str = ""
     #: Tracing: the open client phase span (read/prepare).
@@ -119,6 +120,12 @@ class TapirClient(Node):
         #: Keys of our own committed-but-unacknowledged transactions.
         self._locked_keys: Dict[str, int] = {}
         self._commit_acks_pending: Dict[TID, Set[Tuple[str, str]]] = {}
+        #: Retransmission state for the asynchronous commit round:
+        #: payloads, timers and attempt counts per unacknowledged tid.
+        self._commit_payload: Dict[
+            TID, Tuple[bool, Dict[str, Dict], Dict[str, Dict[str, int]]]] = {}
+        self._commit_timers: Dict[TID, Any] = {}
+        self._commit_attempts: Dict[TID, int] = {}
         self._locked_writes: Dict[TID, Tuple[str, ...]] = {}
         self._queued: List[Tuple[TransactionSpec,
                                  Optional[CompletionCallback]]] = []
@@ -342,22 +349,60 @@ class TapirClient(Node):
     # ------------------------------------------------------------------
     def _send_commits(self, txn: _TapirTxn, commit: bool) -> None:
         pending: Set[Tuple[str, str]] = set()
+        writes_by_pid: Dict[str, Dict] = {}
+        versions_by_pid: Dict[str, Dict[str, int]] = {}
         # Ordered: partitions insertion order is sorted(pids); see begin().
         # detlint: ignore[values-fanout]
         for part in txn.partitions.values():
             writes = {k: txn.writes[k] for k in part.write_keys
                       if k in txn.writes} if commit else {}
+            # The write's installation version is read version + 1 (the
+            # transaction's timestamp) so replicas apply commits
+            # order-independently; blind writes omit the version.
+            versions = {k: txn.versions[k] + 1 for k in writes
+                        if k in txn.versions}
+            writes_by_pid[part.pid] = writes
+            versions_by_pid[part.pid] = versions
             for replica in part.replicas:
                 pending.add((part.pid, replica))
                 self.send(replica, TapirCommit(
                     tid=txn.tid, partition_id=part.pid,
-                    commit=commit, writes=writes))
+                    commit=commit, writes=writes, write_versions=versions))
+        if pending:
+            # Track every outstanding (partition, replica) ack and
+            # retransmit until all arrive: a lost TapirCommit would
+            # otherwise strand the replica's prepared entry (aborts) or
+            # this client's key locks (commits) forever.
+            self._commit_acks_pending[txn.tid] = pending
+            self._commit_payload[txn.tid] = (commit, writes_by_pid,
+                                             versions_by_pid)
+            self._arm_commit_retry(txn.tid)
         if commit and pending:
             keys = txn.spec.all_keys()
-            self._commit_acks_pending[txn.tid] = pending
             self._locked_writes[txn.tid] = keys
             for key in keys:
                 self._locked_keys[key] = self._locked_keys.get(key, 0) + 1
+
+    def _arm_commit_retry(self, tid: TID) -> None:
+        attempts = self._commit_attempts.get(tid, 0)
+        delay = self.config.retry_policy.delay_ms(attempts,
+                                                  self.kernel.random)
+        self._commit_timers[tid] = self.set_timer(
+            delay, self._retry_commits, tid)
+
+    def _retry_commits(self, tid: TID) -> None:
+        pending = self._commit_acks_pending.get(tid)
+        if not pending:
+            return
+        self._commit_attempts[tid] = self._commit_attempts.get(tid, 0) + 1
+        commit, writes_by_pid, versions_by_pid = self._commit_payload[tid]
+        # Sorted so retransmission order never depends on set history.
+        for pid, replica in sorted(pending):
+            self.send(replica, TapirCommit(
+                tid=tid, partition_id=pid, commit=commit,
+                writes=writes_by_pid[pid],
+                write_versions=versions_by_pid[pid]))
+        self._arm_commit_retry(tid)
 
     def _on_commit_ack(self, msg: TapirCommitAck) -> None:
         pending = self._commit_acks_pending.get(msg.tid)
@@ -366,6 +411,11 @@ class TapirClient(Node):
         pending.discard((msg.partition_id, msg.replica_id))
         if not pending:
             del self._commit_acks_pending[msg.tid]
+            timer = self._commit_timers.pop(msg.tid, None)
+            if timer is not None:
+                timer.cancel()
+            self._commit_payload.pop(msg.tid, None)
+            self._commit_attempts.pop(msg.tid, None)
             self._release_locks(msg.tid)
 
     def _release_locks(self, tid: TID) -> None:
@@ -421,16 +471,35 @@ class TapirClient(Node):
         self._drain_queue()
 
     def _arm_retry(self, txn: _TapirTxn) -> None:
-        txn.retry_timer = self.set_timer(self.config.retry_ms,
-                                         self._retry, txn)
+        delay = self.config.retry_policy.delay_ms(txn.retries,
+                                                  self.kernel.random)
+        txn.retry_timer = self.set_timer(delay, self._retry, txn)
 
     def _retry(self, txn: _TapirTxn) -> None:
+        txn.retries += 1
         if txn.phase == PHASE_READ:
             self._send_reads(txn)
         elif txn.phase == PHASE_PREPARE:
             self._send_prepares(txn)
+            self._resend_finalizes(txn)
         if txn.phase != PHASE_DONE:
             self._arm_retry(txn)
+
+    def _resend_finalizes(self, txn: _TapirTxn) -> None:
+        """Retransmit finalize messages for stalled slow paths: a lost
+        TapirFinalize (or ack) would otherwise never reach its quorum —
+        replicas re-ack duplicates idempotently."""
+        # Ordered: partitions insertion order is sorted(pids); see begin().
+        # detlint: ignore[values-fanout]
+        for part in txn.partitions.values():
+            if not part.finalizing:
+                continue
+            for replica in part.replicas:
+                if replica in part.finalize_acks:
+                    continue
+                self.send(replica, TapirFinalize(
+                    tid=txn.tid, partition_id=part.pid,
+                    result=part.decided))
 
     # ------------------------------------------------------------------
     # Dispatch

@@ -72,12 +72,21 @@ class TapirFinalizeAck(Message):
 
 @dataclass
 class TapirCommit(Message):
-    """Client -> every replica: final decision plus writes."""
+    """Client -> every replica: final decision plus writes.
+
+    ``write_versions`` carries the version each write installs at — the
+    transaction's read version + 1, standing in for TAPIR's transaction
+    timestamp — so replicas apply commits order-independently: a delayed
+    or retransmitted commit arriving after a later transaction's commit
+    cannot clobber the newer value.  Keys absent from the map (blind
+    writes) fall back to the replica's local version + 1.
+    """
 
     tid: TID = None
     partition_id: str = ""
     commit: bool = True
     writes: Dict[str, Any] = field(default_factory=dict)
+    write_versions: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass

@@ -195,8 +195,9 @@ class TapirReplica(Node):
             self.resolved[tid] = msg.commit
             if msg.commit:
                 for key, value in msg.writes.items():
-                    self.store.write_if_newer(key, value,
-                                              self.store.version(key) + 1)
+                    version = msg.write_versions.get(
+                        key, self.store.version(key) + 1)
+                    self.store.write_if_newer(key, value, version)
             self._drop_prepared(tid)
         self.send(msg.src, TapirCommitAck(
             tid=tid, partition_id=self.partition_id,

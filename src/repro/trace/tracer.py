@@ -49,6 +49,10 @@ SPAN_CPC_SLOW = "cpc-slow"
 SPAN_COMMIT = "commit"
 SPAN_WRITEBACK = "writeback"
 SPAN_RAFT = "raft-replication"
+#: Fault-injection events (crash/recover/partition/heal/link faults);
+#: recorded with ``tid=None`` so they land in ``orphan_spans`` and render
+#: alongside — not inside — protocol transactions.
+SPAN_NEMESIS = "nemesis"
 
 
 class TraceCtx:
