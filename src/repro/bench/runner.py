@@ -43,6 +43,19 @@ class ExperimentResult:
     def label(self) -> str:
         return SYSTEM_LABELS[self.system]
 
+    @property
+    def op_counters(self) -> Dict[str, int]:
+        """Deterministic simulator-work counters for this run: the
+        kernel's event counters plus the network's message counters.
+        Host-independent, so figure reports and :mod:`repro.perf` can
+        compare them exactly across machines."""
+        ops = self.cluster.kernel.op_counters()
+        network = self.cluster.network
+        ops["messages_sent"] = network.messages_sent
+        ops["messages_delivered"] = network.messages_delivered
+        ops["messages_dropped"] = network.messages_dropped
+        return ops
+
 
 def build_cluster(system: str, spec: DeploymentSpec,
                   tapir_fast_path_timeout_ms: Optional[float] = None):

@@ -11,6 +11,8 @@ Usage::
     python -m repro lint src/            # determinism linter (detlint)
     python -m repro divergence --system basic   # dual-run hash-seed check
     python -m repro chaos --system carousel-fast --seeds 0..9  # nemesis
+    python -m repro perf run --quick     # benchmark suites -> BENCH_*.json
+    python -m repro perf compare BENCH_seed.json BENCH_pr.json
 
     python -m repro fig4 [--scale full]
     python -m repro fig5 [--scale full]  # shares the sweep with fig6
@@ -104,15 +106,29 @@ def cmd_trace_cpc(args) -> None:
     print(render_trace(trace_b, "Figure 3(b): CPC with conflicts"))
 
 
+def _ops_table(ops_by_label: Dict[str, Dict[str, int]]) -> str:
+    rows = [[label,
+             f"{ops['events_executed']:,}",
+             f"{ops['events_cancelled']:,}",
+             f"{ops['messages_delivered']:,}"]
+            for label, ops in ops_by_label.items()]
+    return format_table(
+        ["system", "events", "cancelled", "messages"], rows)
+
+
 def _latency_figure(args, name: str, runner: Callable) -> None:
     results = runner(args.scale)
     recorders = experiments.latency_recorders(results)
+    ops_by_label = {r.label: r.op_counters for r in results.values()}
     print(f"{name} (EC2 topology, 200 tps, scale={args.scale})")
     print(render_latency_table(recorders))
     print("\nCDF series:")
     print(render_cdf(recorders))
+    print("\nSimulator work (deterministic op counters):")
+    print(_ops_table(ops_by_label))
     _emit_json(args.json, {
-        label: recorder.summary()
+        label: {"latency": recorder.summary(),
+                "ops": ops_by_label[label]}
         for label, recorder in recorders.items()
     })
 
@@ -137,10 +153,25 @@ def _sweep(args) -> Dict:
 def cmd_fig5(args) -> None:
     sweep = _sweep(args)
     series = experiments.sweep_series(sweep)
+    ops_by_label = {
+        SYSTEM_LABELS[system]: {
+            key: sum(r.op_counters[key] for r in points)
+            for key in ("events_executed", "events_cancelled",
+                        "messages_delivered")}
+        for system, points in sweep.items()
+    }
     print("Figure 5: committed throughput vs target throughput "
           f"(Retwis, 5 ms uniform RTT, scale={args.scale})")
     print(render_throughput_sweep(series))
-    _emit_json(args.json, series)
+    print("\nSimulator work across the sweep (deterministic op "
+          "counters):")
+    print(_ops_table(ops_by_label))
+    _emit_json(args.json, {
+        "series": series,
+        "ops": {SYSTEM_LABELS[system]:
+                [r.op_counters for r in points]
+                for system, points in sweep.items()},
+    })
 
 
 def cmd_fig6(args) -> None:
@@ -188,7 +219,13 @@ COMMANDS = {
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the Carousel paper's tables and figures.")
+        description="Regenerate the Carousel paper's tables and figures.",
+        epilog="additional verbs: trace (span/WANRT traces), "
+               "lint (determinism linter), "
+               "divergence (dual-run hash-seed check), "
+               "chaos (nemesis harness), "
+               "perf (benchmarks and regression tracking) — "
+               "run `python -m repro <verb> --help` for each")
     parser.add_argument("experiment", choices=sorted(COMMANDS),
                         help="which table/figure to regenerate")
     parser.add_argument("--scale", choices=["quick", "full"],
@@ -220,6 +257,10 @@ def main(argv=None) -> int:
         # The nemesis harness lives in repro.chaos.
         from repro.chaos.cli import main as chaos_main
         return chaos_main(argv)
+    if argv and argv[0] == "perf":
+        # Benchmarks and perf-regression tracking live in repro.perf.
+        from repro.perf.cli import main as perf_main
+        return perf_main(argv)
     args = build_parser().parse_args(argv)
     args._sweep_cache = None
     COMMANDS[args.experiment](args)

@@ -1,0 +1,103 @@
+"""Diff two BENCH documents: rates with a threshold, op counters exactly.
+
+Wall-clock rates are noisy, so a candidate only *regresses* when its
+rate falls more than ``threshold`` (a fraction) below the baseline's.
+Operation counters are deterministic, so any difference at all is
+reported as drift — in CI that means the simulation's behaviour changed,
+which must be an intentional, explained commit, never noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class SuiteDelta:
+    """The comparison of one suite across two BENCH files."""
+
+    name: str
+    base_rate: float
+    cand_rate: float
+    ratio: float  #: cand_rate / base_rate (1.0 when base_rate is 0)
+    regressed: bool
+    improved: bool
+    ops_drift: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CompareResult:
+    """Everything ``repro perf compare`` needs to report and gate on."""
+
+    threshold: float
+    deltas: List[SuiteDelta] = field(default_factory=list)
+    missing_in_candidate: List[str] = field(default_factory=list)
+    extra_in_candidate: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[SuiteDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def improvements(self) -> List[SuiteDelta]:
+        return [d for d in self.deltas if d.improved]
+
+    @property
+    def ops_drifted(self) -> List[SuiteDelta]:
+        return [d for d in self.deltas if d.ops_drift]
+
+    def ok(self, ops_only: bool = False) -> bool:
+        """Gate verdict.  ``ops_only`` ignores wall-clock regressions and
+        fails only on deterministic drift (the CI mode: op counters are
+        host-independent, rates are not)."""
+        if self.ops_drifted or self.missing_in_candidate:
+            return False
+        if not ops_only and self.regressions:
+            return False
+        return True
+
+
+def _ops_drift(base_ops: Dict[str, Any],
+               cand_ops: Dict[str, Any]) -> Dict[str, Any]:
+    drift: Dict[str, Any] = {}
+    for key in sorted(set(base_ops) | set(cand_ops)):
+        base_value = base_ops.get(key)
+        cand_value = cand_ops.get(key)
+        if base_value != cand_value:
+            drift[key] = {"base": base_value, "cand": cand_value}
+    return drift
+
+
+def compare_benches(baseline: Dict[str, Any], candidate: Dict[str, Any],
+                    threshold: float = 0.15) -> CompareResult:
+    """Compare two (already validated) BENCH documents.
+
+    ``threshold`` is the tolerated relative rate drop: with 0.15, a
+    candidate rate below 85% of the baseline's counts as a regression;
+    symmetrically, a rate above 115% is reported as an improvement.
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise ValueError("threshold must be in [0, 1)")
+    base_suites = baseline["suites"]
+    cand_suites = candidate["suites"]
+    result = CompareResult(threshold=threshold)
+    result.missing_in_candidate = sorted(set(base_suites) - set(cand_suites))
+    result.extra_in_candidate = sorted(set(cand_suites) - set(base_suites))
+    for name in sorted(set(base_suites) & set(cand_suites)):
+        base = base_suites[name]
+        cand = cand_suites[name]
+        base_rate = float(base["rate_per_sec"])
+        cand_rate = float(cand["rate_per_sec"])
+        ratio = cand_rate / base_rate if base_rate > 0 else 1.0
+        result.deltas.append(SuiteDelta(
+            name=name,
+            base_rate=base_rate,
+            cand_rate=cand_rate,
+            ratio=ratio,
+            regressed=ratio < 1.0 - threshold,
+            improved=ratio > 1.0 + threshold,
+            ops_drift=_ops_drift(base.get("ops", {}),
+                                 cand.get("ops", {})),
+        ))
+    return result

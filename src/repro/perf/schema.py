@@ -1,0 +1,162 @@
+"""The ``BENCH_<label>.json`` document format and its validator.
+
+A BENCH file is the unit of perf tracking: one run of the benchmark
+suites on one host.  Two kinds of numbers live side by side:
+
+* **wall-clock rates** (``wall_seconds``, ``rate_per_sec``) — honest,
+  host-dependent throughput; compare them only against files from the
+  same machine, with a threshold.
+* **operation counters** (``ops``) — counts of simulated work (events
+  fired, messages delivered, cancellations, transactions committed,
+  object-construction proxies).  These are *deterministic*: they depend
+  only on the simulation, never on the host or the wall clock, so CI
+  compares them **exactly** — any drift is a behaviour change, not
+  noise.
+
+The validator is hand-rolled stdlib code (this repository takes no
+third-party dependencies), but :data:`BENCH_SCHEMA` is written in JSON
+Schema shape so external tooling can consume it too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Current document version; bump when the shape changes.
+SCHEMA_VERSION = 1
+
+#: Units a suite may report its rate in.
+UNITS = ("events", "messages", "txns", "keys")
+
+#: JSON-Schema-shaped description of a BENCH document.
+BENCH_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro perf BENCH document",
+    "type": "object",
+    "required": ["schema_version", "label", "scale", "host", "suites"],
+    "properties": {
+        "schema_version": {"const": SCHEMA_VERSION},
+        "label": {"type": "string", "minLength": 1},
+        "scale": {"enum": ["quick", "full"]},
+        "created_unix": {"type": "number"},
+        "host": {
+            "type": "object",
+            "required": ["python", "platform", "implementation"],
+            "properties": {
+                "python": {"type": "string"},
+                "platform": {"type": "string"},
+                "implementation": {"type": "string"},
+            },
+        },
+        "suites": {
+            "type": "object",
+            "minProperties": 1,
+            "additionalProperties": {
+                "type": "object",
+                "required": ["unit", "units_processed", "wall_seconds",
+                             "rate_per_sec", "ops"],
+                "properties": {
+                    "unit": {"enum": list(UNITS)},
+                    "units_processed": {"type": "integer", "minimum": 0},
+                    "wall_seconds": {"type": "number",
+                                     "exclusiveMinimum": 0},
+                    "rate_per_sec": {"type": "number", "minimum": 0},
+                    "ops": {
+                        "type": "object",
+                        "additionalProperties": {"type": "integer"},
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_number(value: Any) -> bool:
+    return (isinstance(value, (int, float))
+            and not isinstance(value, bool))
+
+
+def validate_bench(doc: Any) -> List[str]:
+    """Validate ``doc`` against :data:`BENCH_SCHEMA`.
+
+    Returns a list of human-readable errors; an empty list means the
+    document is valid.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+
+    for key in ("schema_version", "label", "scale", "host", "suites"):
+        if key not in doc:
+            errors.append(f"missing required key {key!r}")
+    if errors:
+        return errors
+
+    if doc["schema_version"] != SCHEMA_VERSION:
+        errors.append(f"schema_version must be {SCHEMA_VERSION}, "
+                      f"got {doc['schema_version']!r}")
+    if not isinstance(doc["label"], str) or not doc["label"]:
+        errors.append("label must be a non-empty string")
+    if doc["scale"] not in ("quick", "full"):
+        errors.append(f"scale must be 'quick' or 'full', "
+                      f"got {doc['scale']!r}")
+    if "created_unix" in doc and not _is_number(doc["created_unix"]):
+        errors.append("created_unix must be a number")
+
+    host = doc["host"]
+    if not isinstance(host, dict):
+        errors.append("host must be an object")
+    else:
+        for key in ("python", "platform", "implementation"):
+            if not isinstance(host.get(key), str):
+                errors.append(f"host.{key} must be a string")
+
+    suites = doc["suites"]
+    if not isinstance(suites, dict) or not suites:
+        errors.append("suites must be a non-empty object")
+        return errors
+    for name, suite in sorted(suites.items()):
+        where = f"suites[{name!r}]"
+        if not isinstance(suite, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        for key in ("unit", "units_processed", "wall_seconds",
+                    "rate_per_sec", "ops"):
+            if key not in suite:
+                errors.append(f"{where} missing required key {key!r}")
+        if "unit" in suite and suite["unit"] not in UNITS:
+            errors.append(f"{where}.unit must be one of {UNITS}, "
+                          f"got {suite['unit']!r}")
+        if "units_processed" in suite and (
+                not _is_int(suite["units_processed"])
+                or suite["units_processed"] < 0):
+            errors.append(f"{where}.units_processed must be a "
+                          "non-negative integer")
+        if "wall_seconds" in suite and (
+                not _is_number(suite["wall_seconds"])
+                or suite["wall_seconds"] <= 0):
+            errors.append(f"{where}.wall_seconds must be a positive "
+                          "number")
+        if "rate_per_sec" in suite and (
+                not _is_number(suite["rate_per_sec"])
+                or suite["rate_per_sec"] < 0):
+            errors.append(f"{where}.rate_per_sec must be a non-negative "
+                          "number")
+        ops = suite.get("ops")
+        if ops is not None:
+            if not isinstance(ops, dict):
+                errors.append(f"{where}.ops must be an object")
+            else:
+                for op_name, value in sorted(ops.items()):
+                    if not isinstance(op_name, str):
+                        errors.append(f"{where}.ops keys must be "
+                                      "strings")
+                    elif not _is_int(value):
+                        errors.append(f"{where}.ops[{op_name!r}] must "
+                                      "be an integer")
+    return errors

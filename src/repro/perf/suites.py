@@ -1,0 +1,398 @@
+"""The benchmark suites behind ``python -m repro perf``.
+
+Each suite exercises one layer of the stack, times it with
+``time.perf_counter`` (this package is the detlint-sanctioned home for
+wall-clock reads), and reports a :class:`SuiteResult` carrying both the
+host-dependent rate and the deterministic operation counters described
+in :mod:`repro.perf.schema`.
+
+Microbenchmarks
+    ``kernel-churn-*``   raw event schedule/fire throughput, per scheduler
+    ``timer-cancel-*``   the protocol-timeout pattern (schedule a far
+                         timeout, cancel it shortly after), per scheduler
+    ``net-send``         network send/deliver on the zero-allocation fast
+                         path (no tracing, no fault models)
+    ``net-send-traced``  the same traffic with a recording tracer and
+                         link-fault models installed (slow path)
+    ``zipf-*``           workload key generation, approximation vs alias
+                         table
+
+End-to-end
+    ``e2e-<system>``     committed transactions/sec under the Retwis
+                         driver for all four evaluated systems.
+
+All suites seed their kernels explicitly, so the op counters of a given
+(suite, scale) pair are stable across hosts and runs.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.perf.schema import SCHEMA_VERSION
+from repro.sim.kernel import Kernel
+from repro.sim.message import Message
+from repro.sim.network import LinkFaults, Network
+from repro.sim.node import Node
+from repro.sim.topology import uniform_topology
+
+SCALES = ("quick", "full")
+
+#: The four evaluated systems, all of which get an e2e suite.
+E2E_SYSTEMS = ("carousel-basic", "carousel-fast", "layered", "tapir")
+
+
+@dataclass
+class SuiteResult:
+    """One suite's measurement: what ran, how fast, and exactly how much
+    simulated work it did."""
+
+    name: str
+    unit: str
+    units_processed: int
+    wall_seconds: float
+    ops: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def rate_per_sec(self) -> float:
+        """Units per wall-clock second (0 when nothing was timed)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.units_processed / self.wall_seconds
+
+    def to_json(self) -> Dict[str, object]:
+        """This result as a BENCH-document suite entry."""
+        return {
+            "unit": self.unit,
+            "units_processed": self.units_processed,
+            "wall_seconds": self.wall_seconds,
+            "rate_per_sec": self.rate_per_sec,
+            "ops": dict(sorted(self.ops.items())),
+        }
+
+
+# ----------------------------------------------------------------------
+# kernel microbenchmarks
+
+#: Microbenchmark repetitions; the reported wall time is the *minimum*
+#: (the standard defence against scheduler noise on shared hosts — the
+#: fastest rep is the one least disturbed by the OS).  Ops are identical
+#: across reps by construction, so only the timing benefits.
+_MICRO_REPS = 3
+
+
+def _best_of(once: Callable[[], SuiteResult]) -> SuiteResult:
+    result = once()
+    for _ in range(_MICRO_REPS - 1):
+        rep = once()
+        if rep.wall_seconds < result.wall_seconds:
+            result = rep
+    return result
+
+
+def _bench_kernel_churn(scheduler: str, scale: str) -> SuiteResult:
+    """Self-rescheduling event chains: the kernel's steady-state churn.
+
+    64 concurrent chains each fire and immediately reschedule themselves
+    at an exponential gap, so the queue holds a stable population while
+    events pour through it — the common case for every protocol timer
+    and message delivery in the simulator.
+    """
+    n_events = 150_000 if scale == "quick" else 1_500_000
+
+    def once() -> SuiteResult:
+        kernel = Kernel(seed=11, scheduler=scheduler)
+        expovariate = kernel.random.expovariate
+        schedule = kernel.schedule
+
+        def tick() -> None:
+            schedule(expovariate(1.0), tick)
+
+        for _ in range(64):
+            schedule(expovariate(1.0), tick)
+        start = time.perf_counter()
+        executed = kernel.run(max_events=n_events)
+        wall = time.perf_counter() - start
+        return SuiteResult(name=f"kernel-churn-{scheduler}",
+                           unit="events", units_processed=executed,
+                           wall_seconds=wall, ops=kernel.op_counters())
+
+    return _best_of(once)
+
+
+def _bench_timer_cancel(scheduler: str, scale: str) -> SuiteResult:
+    """The protocol-timeout pattern: almost every scheduled timer is
+    cancelled before it fires.
+
+    512 chains each keep one outstanding 100 ms timeout; every operation
+    cancels the previous timeout and arms a new one, then reschedules
+    itself ~0.5 ms out.  Roughly half of all scheduled events die by
+    cancellation, which is exactly the load that separates the heap's
+    lazy compaction from the calendar queue's eager bucket removal.
+    """
+    n_events = 60_000 if scale == "quick" else 600_000
+    chains = 512
+
+    def once() -> SuiteResult:
+        kernel = Kernel(seed=12, scheduler=scheduler)
+        expovariate = kernel.random.expovariate
+        schedule = kernel.schedule
+        timeouts: List[Optional[object]] = [None] * chains
+
+        def on_timeout() -> None:  # pragma: no cover - always cancelled
+            pass
+
+        def op(chain: int) -> None:
+            pending = timeouts[chain]
+            if pending is not None:
+                pending.cancel()
+            timeouts[chain] = schedule(100.0, on_timeout)
+            schedule(expovariate(2.0), op, chain)
+
+        for chain in range(chains):
+            schedule(expovariate(2.0), op, chain)
+        start = time.perf_counter()
+        executed = kernel.run(max_events=n_events)
+        wall = time.perf_counter() - start
+        return SuiteResult(name=f"timer-cancel-{scheduler}",
+                           unit="events", units_processed=executed,
+                           wall_seconds=wall, ops=kernel.op_counters())
+
+    return _best_of(once)
+
+
+# ----------------------------------------------------------------------
+# network microbenchmarks
+
+
+class _Ping(Message):
+    """Minimal fixed-size message for the network benchmarks."""
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+class _EchoNode(Node):
+    """Bounces every message straight back to its sender."""
+
+    def handle_message(self, msg: Message) -> None:
+        self.send(msg.src, _Ping())
+
+
+def _build_echo_pairs(kernel: Kernel, pairs: int):
+    topology = uniform_topology(2, 10.0)
+    network = Network(kernel, topology, jitter_fraction=0.02)
+    endpoints = []
+    for i in range(pairs):
+        a = _EchoNode(f"a{i}", "dc0", kernel, network)
+        b = _EchoNode(f"b{i}", "dc1", kernel, network)
+        endpoints.append((a, b))
+    return network, endpoints
+
+
+def _net_ops(kernel: Kernel, network: Network) -> Dict[str, int]:
+    ops = kernel.op_counters()
+    ops["messages_sent"] = network.messages_sent
+    ops["messages_delivered"] = network.messages_delivered
+    ops["messages_dropped"] = network.messages_dropped
+    return ops
+
+
+def _bench_net_send(scale: str) -> SuiteResult:
+    """Cross-DC ping-pong on the network fast path: no accounting, no
+    fault models, no tracer — the branch the overhaul optimizes."""
+    n_events = 100_000 if scale == "quick" else 1_000_000
+
+    def once() -> SuiteResult:
+        kernel = Kernel(seed=13)
+        network, endpoints = _build_echo_pairs(kernel, pairs=32)
+        assert network._fast, "fast path must be active for net-send"
+        for a, b in endpoints:
+            a.send(b.node_id, _Ping())
+        start = time.perf_counter()
+        kernel.run(max_events=n_events)
+        wall = time.perf_counter() - start
+        return SuiteResult(name="net-send", unit="messages",
+                           units_processed=network.messages_delivered,
+                           wall_seconds=wall,
+                           ops=_net_ops(kernel, network))
+
+    return _best_of(once)
+
+
+def _bench_net_send_traced(scale: str) -> SuiteResult:
+    """The same ping-pong traffic with a recording tracer attached and a
+    link-fault model installed, forcing the fully-instrumented slow
+    path.  Comparing against ``net-send`` prices the instrumentation."""
+    from repro.trace.tracer import Tracer
+
+    n_events = 100_000 if scale == "quick" else 1_000_000
+
+    def once() -> SuiteResult:
+        kernel = Kernel(seed=13)
+        network, endpoints = _build_echo_pairs(kernel, pairs=32)
+        Tracer(kernel)
+        faults = LinkFaults(drop_prob=0.001, dup_prob=0.001)
+        for a, b in endpoints:
+            network.set_link_faults(a.node_id, b.node_id, faults)
+        assert not network._fast, \
+            "slow path must be active for net-send-traced"
+        for a, b in endpoints:
+            a.send(b.node_id, _Ping())
+        start = time.perf_counter()
+        kernel.run(max_events=n_events)
+        wall = time.perf_counter() - start
+        return SuiteResult(name="net-send-traced", unit="messages",
+                           units_processed=network.messages_delivered,
+                           wall_seconds=wall,
+                           ops=_net_ops(kernel, network))
+
+    return _best_of(once)
+
+
+# ----------------------------------------------------------------------
+# workload-generation microbenchmarks
+
+
+def _bench_zipf(method: str, scale: str) -> SuiteResult:
+    """Zipfian rank draws at the paper's theta = 0.75.  ``rank_sum`` is a
+    deterministic checksum over the drawn ranks: any change to either
+    sampler's draw stream shows up as an exact op-counter diff."""
+    from repro.workloads.zipf import ZipfianGenerator
+
+    n_keys = 100_000 if scale == "quick" else 1_000_000
+    n_draws = 200_000 if scale == "quick" else 2_000_000
+
+    def once() -> SuiteResult:
+        rng = Kernel(seed=17).random
+        generator = ZipfianGenerator(n_keys, theta=0.75, rng=rng,
+                                     method=method)
+        next_rank = generator.next
+        rank_sum = 0
+        start = time.perf_counter()
+        for _ in range(n_draws):
+            rank_sum += next_rank()
+        wall = time.perf_counter() - start
+        return SuiteResult(name=f"zipf-{method}", unit="keys",
+                           units_processed=n_draws, wall_seconds=wall,
+                           ops={"draws": n_draws, "n_keys": n_keys,
+                                "rank_sum": rank_sum})
+
+    return _best_of(once)
+
+
+# ----------------------------------------------------------------------
+# end-to-end system benchmarks
+
+
+def _build_e2e_cluster(system: str, spec):
+    if system == "layered":
+        from repro.bench.cluster import LayeredCluster
+
+        return LayeredCluster(spec)
+    from repro.bench.runner import build_cluster
+
+    return build_cluster(system, spec)
+
+
+def _bench_e2e(system: str, scale: str) -> SuiteResult:
+    """Committed transactions/sec under the Retwis driver.
+
+    Uses a small uniform three-DC deployment (the §6.4 local-cluster
+    shape) rather than the full EC2 topology so the quick scale stays
+    CI-friendly; the point is tracking end-to-end simulator throughput,
+    not reproducing a paper figure.
+    """
+    from repro.bench.cluster import DeploymentSpec
+    from repro.workloads.driver import COMMITTED, ABORTED, WorkloadDriver
+    from repro.workloads.retwis import RetwisWorkload
+
+    duration_ms = 3_000.0 if scale == "quick" else 20_000.0
+    target_tps = 200.0 if scale == "quick" else 400.0
+    spec = DeploymentSpec(topology=uniform_topology(3, 10.0),
+                          n_partitions=3, seed=23, clients_per_dc=4)
+    cluster = _build_e2e_cluster(system, spec)
+    workload = RetwisWorkload(n_keys=10_000, seed=24)
+    driver = WorkloadDriver(cluster, workload, target_tps=target_tps,
+                            duration_ms=duration_ms, warmup_ms=500.0,
+                            cooldown_ms=500.0, closed_loop=True,
+                            arrival_batch=16)
+    start = time.perf_counter()
+    stats = driver.run()
+    wall = time.perf_counter() - start
+    committed = stats.outcomes.count(COMMITTED)
+    ops = cluster.kernel.op_counters()
+    ops["messages_sent"] = cluster.network.messages_sent
+    ops["messages_delivered"] = cluster.network.messages_delivered
+    ops["messages_dropped"] = cluster.network.messages_dropped
+    ops["committed"] = committed
+    ops["aborted"] = stats.outcomes.count(ABORTED)
+    ops["submitted"] = stats.submitted
+    return SuiteResult(name=f"e2e-{system}", unit="txns",
+                       units_processed=committed, wall_seconds=wall,
+                       ops=ops)
+
+
+# ----------------------------------------------------------------------
+# registry
+
+SUITES: Dict[str, Callable[[str], SuiteResult]] = {
+    "kernel-churn-heap": lambda s: _bench_kernel_churn("heap", s),
+    "kernel-churn-calendar": lambda s: _bench_kernel_churn("calendar", s),
+    "timer-cancel-heap": lambda s: _bench_timer_cancel("heap", s),
+    "timer-cancel-calendar": lambda s: _bench_timer_cancel("calendar", s),
+    "net-send": _bench_net_send,
+    "net-send-traced": _bench_net_send_traced,
+    "zipf-approx": lambda s: _bench_zipf("approx", s),
+    "zipf-alias": lambda s: _bench_zipf("alias", s),
+    "e2e-carousel-basic": lambda s: _bench_e2e("carousel-basic", s),
+    "e2e-carousel-fast": lambda s: _bench_e2e("carousel-fast", s),
+    "e2e-layered": lambda s: _bench_e2e("layered", s),
+    "e2e-tapir": lambda s: _bench_e2e("tapir", s),
+}
+
+
+def run_suites(names: Optional[List[str]] = None, scale: str = "quick",
+               progress: Optional[Callable[[str], None]] = None
+               ) -> Dict[str, SuiteResult]:
+    """Run the requested suites (all of them by default) and return
+    ``{name: SuiteResult}`` in registry order."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of "
+                         f"{SCALES}")
+    if names is None:
+        names = list(SUITES)
+    unknown = [name for name in names if name not in SUITES]
+    if unknown:
+        raise ValueError(f"unknown suites: {', '.join(unknown)}; "
+                         f"known: {', '.join(SUITES)}")
+    results: Dict[str, SuiteResult] = {}
+    for name in SUITES:
+        if name not in names:
+            continue
+        if progress is not None:
+            progress(name)
+        results[name] = SUITES[name](scale)
+    return results
+
+
+def bench_document(results: Dict[str, SuiteResult], label: str,
+                   scale: str) -> Dict[str, object]:
+    """Assemble a schema-valid BENCH document from suite results."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "scale": scale,
+        "created_unix": time.time(),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "implementation": sys.implementation.name,
+        },
+        "suites": {name: result.to_json()
+                   for name, result in results.items()},
+    }

@@ -1,8 +1,8 @@
 """The discrete-event simulation kernel.
 
-The kernel owns the virtual clock and the event heap.  All simulated time in
-this repository is expressed in **milliseconds** as floats, matching the units
-the Carousel paper uses for its latency tables and figures.
+The kernel owns the virtual clock and the event queue.  All simulated time
+in this repository is expressed in **milliseconds** as floats, matching the
+units the Carousel paper uses for its latency tables and figures.
 
 Determinism
 -----------
@@ -10,27 +10,51 @@ Two runs of the same simulation with the same seed produce identical event
 orders.  Ties in event time are broken by insertion order (a monotonically
 increasing sequence number), and all randomness must be drawn from
 ``kernel.random``, the single seeded :class:`random.Random` instance.
+
+Schedulers
+----------
+The event queue is pluggable (``Kernel(scheduler=...)``): the default
+``"heap"`` is a binary heap with lazy compaction of cancelled entries;
+``"calendar"`` is a :class:`~repro.sim.calqueue.CalendarQueue` with O(1)
+amortized operations and *eager* removal of cancelled events, which wins
+on cancellation-heavy workloads (see ``python -m repro perf``).  Both
+schedulers pop events in exactly the same ``(time, seq)`` order, so the
+choice never changes simulation results — only wall-clock speed.
+
+Operation counters
+------------------
+``events_scheduled`` / ``events_executed`` / ``events_cancelled`` count
+kernel operations deterministically (they depend only on the simulation,
+never on the host), so the perf subsystem can regression-check behaviour
+without trusting noisy timers.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
+from functools import partial
 from typing import Any, Callable, List, Optional
 
+from repro.sim.calqueue import CalendarQueue
 from repro.trace.tracer import NULL_TRACER
+
+#: Accepted values for ``Kernel(scheduler=...)``.
+SCHEDULERS = ("heap", "calendar")
 
 
 class Event:
     """A scheduled callback.
 
     Events are ordered by ``(time, seq)`` so that simultaneous events fire in
-    the order they were scheduled.  Cancelling an event marks it dead; the
-    kernel skips dead events when it pops them.
+    the order they were scheduled.  Cancelling an event hands it back to the
+    kernel's scheduler: the heap marks it dead and skips it on pop (with
+    lazy compaction), the calendar queue removes it from its bucket
+    immediately.
 
     ``ctx`` is the event's causal trace context (``None`` when tracing is
-    off); ``_owner`` back-references the kernel while the event sits in the
-    heap so cancellation can be counted for lazy compaction.
+    off); ``_owner`` back-references the kernel while the event is queued so
+    cancellation can be routed to the scheduler.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "ctx",
@@ -54,7 +78,7 @@ class Event:
         owner = self._owner
         if owner is not None:
             self._owner = None
-            owner._note_cancelled()
+            owner._note_cancelled(self)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -62,6 +86,66 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"<Event t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class HeapScheduler:
+    """Binary heap with lazy compaction of cancelled entries.
+
+    Cancelled events stay heaped until popped; when dead entries
+    outnumber live ones the heap is compacted in place (``compactions``
+    counts those passes).  ``push`` is bound to :func:`heapq.heappush`
+    on the (never rebound) heap list, so the hot path pays no Python-
+    level indirection.
+    """
+
+    __slots__ = ("_heap", "_cancelled", "compactions", "push")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._cancelled = 0
+        self.compactions = 0
+        self.push = partial(heapq.heappush, self._heap)
+
+    def discard(self, event: Event) -> None:
+        """Note a cancellation; compact lazily when dead entries
+        outnumber live ones."""
+        self._cancelled += 1
+        if self._cancelled > 8 and self._cancelled * 2 > len(self._heap):
+            # In-place rebuild: the heap list identity must survive
+            # because ``push`` is bound to it.
+            self._heap[:] = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+            self.compactions += 1
+
+    def pop_until(self, limit: Optional[float]) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` when
+        the heap is empty or that event is after ``limit``."""
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            if limit is not None and event.time > limit:
+                return None
+            heapq.heappop(heap)
+            return event
+        return None
+
+    def pending(self) -> int:
+        """Live (non-cancelled) events still queued."""
+        return len(self._heap) - self._cancelled
+
+
+def _make_scheduler(name: str):
+    if name == "heap":
+        return HeapScheduler()
+    if name == "calendar":
+        return CalendarQueue()
+    raise ValueError(f"unknown scheduler {name!r}; expected one of "
+                     f"{SCHEDULERS}")
 
 
 class Kernel:
@@ -74,16 +158,24 @@ class Kernel:
         of randomness in a simulation (jitter, workload key choice, client
         think times, randomized election timeouts) must use ``kernel.random``
         or an RNG derived from it, so that runs are reproducible.
+    scheduler:
+        ``"heap"`` (default) or ``"calendar"`` — see the module docstring.
+        Both produce identical event orders.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, scheduler: str = "heap"):
         self._now: float = 0.0
         self._seq: int = 0
-        self._heap: List[Event] = []
+        self._sched = _make_scheduler(scheduler)
+        self._push = self._sched.push
         self._stopped = False
-        self._cancelled = 0
+        self.scheduler = scheduler
         self.random = random.Random(seed)
         self.seed = seed
+        #: Deterministic operation counters (host-independent).
+        self.events_scheduled = 0
+        self.events_executed = 0
+        self.events_cancelled = 0
         #: The attached tracer; the shared disabled instance by default, so
         #: tracing costs one ``tracer.enabled`` check when off.
         self.tracer = NULL_TRACER
@@ -92,13 +184,22 @@ class Kernel:
         #: recorded to a compact stream for cross-process determinism
         #: diffing.  ``None`` (the default) costs one check per event.
         self.digest = None
-        #: Number of lazy heap compactions performed (observability).
-        self.heap_compactions = 0
 
     @property
     def now(self) -> float:
         """Current virtual time in milliseconds."""
         return self._now
+
+    @property
+    def heap_compactions(self) -> int:
+        """Lazy compaction passes performed (0 for the calendar queue,
+        which removes cancelled events eagerly)."""
+        return self._sched.compactions
+
+    @property
+    def _heap(self) -> List[Event]:
+        # Back-compat observability hook for the heap scheduler's tests.
+        return self._sched._heap
 
     def schedule(self, delay: float, callback: Callable[..., None],
                  *args: Any) -> Event:
@@ -111,10 +212,11 @@ class Kernel:
             delay = 0.0
         event = Event(self._now + delay, self._seq, callback, args)
         self._seq += 1
+        self.events_scheduled += 1
         if self.tracer.enabled:
             event.ctx = self.tracer.current
         event._owner = self
-        heapq.heappush(self._heap, event)
+        self._push(event)
         return event
 
     def schedule_at(self, time: float, callback: Callable[..., None],
@@ -128,26 +230,23 @@ class Kernel:
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> int:
-        """Run events until the heap drains, ``until`` is reached, or
+        """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` have fired.
 
         Returns the number of events executed.  When ``until`` is given, the
-        clock is advanced to exactly ``until`` on return (even if the heap
+        clock is advanced to exactly ``until`` on return (even if the queue
         drained earlier), which makes fixed-duration experiments exact.
         """
         executed = 0
         self._stopped = False
-        while self._heap and not self._stopped:
+        pop_until = self._sched.pop_until
+        while not self._stopped:
             if max_events is not None and executed >= max_events:
                 break
-            event = self._heap[0]
-            if until is not None and event.time > until:
+            event = pop_until(until)
+            if event is None:
                 break
-            heapq.heappop(self._heap)
             event._owner = None
-            if event.cancelled:
-                self._cancelled -= 1
-                continue
             self._now = event.time
             if self.digest is not None:
                 self.digest.on_event(event.time, event.seq)
@@ -156,24 +255,27 @@ class Kernel:
                 tracer.current = event.ctx
             event.callback(*event.args)
             executed += 1
+        self.events_executed += executed
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return executed
 
-    def _note_cancelled(self) -> None:
-        """Count a cancellation of a still-heaped event; compact lazily when
-        dead entries outnumber live ones."""
-        self._cancelled += 1
-        if self._cancelled > 8 and self._cancelled * 2 > len(self._heap):
-            self._compact_heap()
-
-    def _compact_heap(self) -> None:
-        """Drop cancelled entries from the heap and re-heapify."""
-        self._heap = [e for e in self._heap if not e.cancelled]
-        heapq.heapify(self._heap)
-        self._cancelled = 0
-        self.heap_compactions += 1
+    def _note_cancelled(self, event: Event) -> None:
+        """Route a cancellation of a still-queued event to the scheduler."""
+        self.events_cancelled += 1
+        self._sched.discard(event)
 
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still scheduled."""
-        return len(self._heap) - self._cancelled
+        return self._sched.pending()
+
+    def op_counters(self) -> dict:
+        """The kernel's deterministic operation counters, for
+        :mod:`repro.perf` and the bench reports."""
+        return {
+            "events_scheduled": self.events_scheduled,
+            "events_executed": self.events_executed,
+            "events_cancelled": self.events_cancelled,
+            "pending_events": self.pending_events(),
+            "compactions": self._sched.compactions,
+        }

@@ -133,6 +133,7 @@ class Network:
         self._accounting = False
         self._accounting_start: Optional[float] = None
         self._accounting_end: Optional[float] = None
+        self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
         #: Directed-link fault models, installed by the chaos harness.
@@ -144,9 +145,33 @@ class Network:
         # the protocol RNG stream.
         # detlint: ignore[unseeded-random]
         self._fault_rng = random.Random(f"link-faults:{kernel.seed}")
-        #: Optional hook called as ``trace(msg, delay_ms)`` for every send;
-        #: used by the protocol-trace benchmarks (Figures 2 and 3).
-        self.trace_hook: Optional[Callable[[Message, float], None]] = None
+        self._trace_hook: Optional[Callable[[Message, float], None]] = None
+        # Hot-path caches: the bound delivery callback (a fresh bound
+        # method per send is an allocation), the topology lookup, and the
+        # raw uniform [0,1) draw — `uniform(0, j)` computes `0 + j *
+        # random()`, so `random() * j` yields bit-identical jitter.
+        self._deliver_cb = self._deliver
+        self._one_way = topology.one_way
+        self._rand = kernel.random.random
+        #: True while no accounting window, link faults, or protocol
+        #: trace hook is active — sends then take a short inline path.
+        self._fast = True
+
+    def _refresh_fast_path(self) -> None:
+        self._fast = not (self._accounting or self._link_faults
+                          or self._trace_hook is not None)
+
+    @property
+    def trace_hook(self) -> Optional[Callable[[Message, float], None]]:
+        """Optional hook called as ``trace(msg, delay_ms)`` for every
+        send; used by the protocol-trace benchmarks (Figures 2 and 3)."""
+        return self._trace_hook
+
+    @trace_hook.setter
+    def trace_hook(self,
+                   hook: Optional[Callable[[Message, float], None]]) -> None:
+        self._trace_hook = hook
+        self._refresh_fast_path()
 
     # ------------------------------------------------------------------
     # Registration
@@ -171,11 +196,13 @@ class Network:
         """Begin counting bytes (e.g. after workload warmup)."""
         self._accounting = True
         self._accounting_start = self.kernel.now
+        self._refresh_fast_path()
 
     def stop_accounting(self) -> None:
         """Stop counting bytes (e.g. before workload cooldown)."""
         self._accounting = False
         self._accounting_end = self.kernel.now
+        self._refresh_fast_path()
 
     @property
     def accounting_window_ms(self) -> float:
@@ -234,6 +261,7 @@ class Network:
             self._link_faults[pair] = faults
             if pair not in self._link_stats:
                 self._link_stats[pair] = LinkStats()
+        self._refresh_fast_path()
 
     def clear_link_faults(self, a: str, b: str,
                           bidirectional: bool = True) -> None:
@@ -242,10 +270,12 @@ class Network:
         self._link_faults.pop((a, b), None)
         if bidirectional:
             self._link_faults.pop((b, a), None)
+        self._refresh_fast_path()
 
     def clear_all_link_faults(self) -> None:
         """Remove every installed link fault model (counters are kept)."""
         self._link_faults.clear()
+        self._refresh_fast_path()
 
     def link_faults(self, a: str, b: str) -> Optional[LinkFaults]:
         """The fault model currently on ``a -> b``, if any."""
@@ -265,13 +295,41 @@ class Network:
         latency (with jitter), and delivered unless the sender or receiver
         has crashed or the pair is partitioned.  Dropped messages are simply
         lost: the model is asynchronous and protocols must use timeouts.
+
+        When no accounting window, link faults, or protocol trace hook is
+        active (``self._fast``), the send takes an inline path whose only
+        allocations are the delivery event and its args tuple — payload
+        sizing, fault lookups, and per-link stats are all skipped, and the
+        jitter draw is bit-identical to the slow path's.
         """
-        if dst_id not in self.nodes:
-            raise KeyError(f"unknown destination node {dst_id!r}")
-        dst = self.nodes[dst_id]
+        try:
+            dst = self.nodes[dst_id]
+        except KeyError:
+            raise KeyError(f"unknown destination node {dst_id!r}") from None
+        kernel = self.kernel
         msg.src = src.node_id
         msg.dst = dst_id
-        msg.sent_at = self.kernel.now
+        msg.sent_at = kernel._now
+        self.messages_sent += 1
+
+        if self._fast:
+            if src.crashed:
+                self.messages_dropped += 1
+                return
+            delay = self._one_way(src.dc, dst.dc)
+            jitter = self.jitter_fraction
+            if jitter > 0:
+                delay *= 1.0 + self._rand() * jitter
+            event = kernel.schedule(delay, self._deliver_cb, msg, dst)
+            tracer = kernel.tracer
+            if tracer.enabled:
+                event.ctx = tracer.on_send(msg, src, dst, delay)
+            digest = kernel.digest
+            if digest is not None:
+                digest.on_send(kernel._now, event.seq, src.node_id,
+                               dst_id, msg.type_name, msg.size_bytes(),
+                               event.ctx)
+            return
 
         # Sizing walks the whole payload, so only pay for it while the
         # bandwidth experiment's accounting window is open.
@@ -289,8 +347,8 @@ class Network:
             delay *= 1.0 + self.kernel.random.uniform(0, self.jitter_fraction)
 
         # Adversarial link faults: only links with an installed model pay
-        # for (or draw) anything — `if self._link_faults` is falsy in every
-        # fault-free run, keeping the hot path and RNG streams unchanged.
+        # for (or draw) anything, keeping the hot path and RNG streams
+        # unchanged in fault-free runs.
         duplicate_delay: Optional[float] = None
         if self._link_faults:
             faults = self._link_faults.get((src.node_id, dst_id))
@@ -321,8 +379,8 @@ class Network:
 
     def _schedule_delivery(self, src: "Node", dst: "Node", msg: Message,
                            delay: float) -> None:
-        if self.trace_hook is not None:
-            self.trace_hook(msg, delay)
+        if self._trace_hook is not None:
+            self._trace_hook(msg, delay)
         event = self.kernel.schedule(delay, self._deliver, msg, dst)
         tracer = self.kernel.tracer
         if tracer.enabled:
@@ -336,7 +394,8 @@ class Network:
                            event.ctx)
 
     def _deliver(self, msg: Message, dst: "Node") -> None:
-        if dst.crashed or self.is_partitioned(msg.src, msg.dst):
+        if dst.crashed or (self._partitioned and
+                           (msg.src, msg.dst) in self._partitioned):
             self.messages_dropped += 1
             return
         if self._accounting:

@@ -113,6 +113,28 @@ def test_wallclock_allowed_under_bench():
     assert codes(src, path="src/repro/bench/report.py") == []
 
 
+def test_wallclock_allowed_under_perf():
+    src = """
+    import time
+
+    def measure(self):
+        return time.perf_counter()
+    """
+    assert codes(src, path="src/repro/perf/suites.py") == []
+
+
+def test_wallclock_still_fires_outside_perf_and_bench():
+    src = """
+    import time
+
+    def measure(self):
+        return time.perf_counter()
+    """
+    for path in ("src/repro/sim/kernel.py", "src/repro/core/server.py",
+                 "src/repro/workloads/driver.py"):
+        assert codes(src, path=path) == ["DL003"]
+
+
 def test_datetime_now_is_error():
     src = """
     import datetime
