@@ -23,25 +23,25 @@ from repro.bench.experiments import (
     fig8_experiment,
     throughput_sweep_experiment,
 )
-from repro.bench.runner import ExperimentResult
+from repro.bench.runner import ExperimentResult, RunRecord
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
 
 
 @pytest.fixture(scope="session")
-def fig4_results() -> Dict[str, ExperimentResult]:
+def fig4_results() -> Dict[str, RunRecord]:
     """Figure 4: Retwis latency CDF on the EC2 topology at 200 tps."""
     return fig4_experiment(SCALE)
 
 
 @pytest.fixture(scope="session")
-def fig8_results() -> Dict[str, ExperimentResult]:
+def fig8_results() -> Dict[str, RunRecord]:
     """Figure 8: YCSB+T latency CDF on the EC2 topology at 200 tps."""
     return fig8_experiment(SCALE)
 
 
 @pytest.fixture(scope="session")
-def throughput_sweep() -> Dict[str, List[ExperimentResult]]:
+def throughput_sweep() -> Dict[str, List[RunRecord]]:
     """Figures 5 and 6: Retwis on the uniform 5 ms local cluster."""
     return throughput_sweep_experiment(SCALE)
 

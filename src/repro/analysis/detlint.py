@@ -11,7 +11,8 @@ code      slug               severity  catches
 ========  =================  ========  =============================================
 DL001     set-iter-send      error     ``for x in <set>`` whose body sends/schedules
 DL002     set-iter           warning   any other unsorted ``set`` iteration
-DL003     wallclock          error     ``time.time``/``datetime.now``/... outside bench/
+DL003     wallclock          error     ``time.time``/``datetime.now``/... outside the
+                                       bench/perf/sweep allowlist
 DL004     unseeded-random    error     module-level ``random.*`` outside kernel/workloads
 DL005     values-fanout      warning   dict ``.values()/.keys()/.items()`` fan-out in a
                                        send path (ordered only if insertion order is)
@@ -121,8 +122,11 @@ class LintConfig:
     # perf/ is the benchmarking subsystem: timing the simulator with
     # time.perf_counter is its whole job, and its wall-clock numbers
     # never feed back into simulated behaviour (the deterministic op
-    # counters cover that).
-    wallclock_allowed: Tuple[str, ...] = ("bench/", "perf/")
+    # counters cover that).  sweep/ measures and orchestrates sweeps
+    # from outside the kernel (wall-clock stats, os.getpid for unique
+    # temp-file names) and likewise never feeds anything back into a
+    # simulation — every worker runs a fresh, fully-seeded kernel.
+    wallclock_allowed: Tuple[str, ...] = ("bench/", "perf/", "sweep/")
     # chaos/ generates nemesis schedules and workload plans from RNGs
     # string-seeded by the run seed before the simulation starts, the
     # same pattern as workloads/.

@@ -30,6 +30,44 @@ SYSTEM_LABELS = {
 
 
 @dataclass
+class RunRecord:
+    """The detachable summary of one run: everything the figure reports
+    need (measured statistics plus deterministic op counters), nothing
+    that drags a live kernel along.  Picklable, so records cross process
+    boundaries in sweeps, and JSON-serializable, so they live in the
+    sweep result cache."""
+
+    system: str
+    target_tps: float
+    stats: WorkloadStats
+    op_counters: Dict[str, int]
+
+    @property
+    def label(self) -> str:
+        return SYSTEM_LABELS[self.system]
+
+    def to_json(self) -> Dict[str, object]:
+        """Canonical JSON form (sorted op counters) for the sweep
+        result cache; inverse of :meth:`from_json`."""
+        return {
+            "system": self.system,
+            "target_tps": self.target_tps,
+            "stats": self.stats.to_json(),
+            "op_counters": dict(sorted(self.op_counters.items())),
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "RunRecord":
+        return cls(
+            system=doc["system"],
+            target_tps=float(doc["target_tps"]),
+            stats=WorkloadStats.from_json(doc["stats"]),
+            op_counters={str(k): int(v)
+                         for k, v in doc["op_counters"].items()},
+        )
+
+
+@dataclass
 class ExperimentResult:
     """One (system, workload, target-tps) measurement."""
 
@@ -55,6 +93,13 @@ class ExperimentResult:
         ops["messages_delivered"] = network.messages_delivered
         ops["messages_dropped"] = network.messages_dropped
         return ops
+
+    def record(self) -> RunRecord:
+        """Detach the picklable summary (stats + op counters) from the
+        live cluster/driver objects."""
+        return RunRecord(system=self.system, target_tps=self.target_tps,
+                         stats=self.stats,
+                         op_counters=dict(self.op_counters))
 
 
 def build_cluster(system: str, spec: DeploymentSpec,

@@ -60,18 +60,45 @@ def _print_violations(violations: Sequence[OracleViolation],
         print(f"    ... and {len(violations) - limit} more")
 
 
+def _parallel_first_failing(system: str, seed: int, opts: ChaosOptions,
+                            plant_bug_name: Optional[str], jobs: int):
+    """Batch candidate evaluation for the minimizer: replay every
+    candidate schedule across ``jobs`` worker processes and pick the
+    smallest failing index — the same selection a lazy sequential scan
+    makes, so the minimized schedule is identical."""
+    from repro.sweep import SweepExecutor
+    from repro.sweep.kinds import chaos_replay_spec
+
+    executor = SweepExecutor(jobs=jobs, cache=None)
+
+    def first_failing(candidates):
+        specs = [chaos_replay_spec(system, seed, opts, candidate,
+                                   plant_bug=plant_bug_name)
+                 for candidate in candidates]
+        return executor.first_failing(specs)
+
+    return first_failing
+
+
 def _report_counterexample(system: str, seed: int, result: ChaosRunResult,
-                           opts: ChaosOptions, planted_bug) -> None:
+                           opts: ChaosOptions, planted_bug,
+                           plant_bug_name: Optional[str] = None,
+                           jobs: int = 1) -> None:
     """Minimize the failing schedule and print the counterexample report."""
     print(f"    minimizing {len(result.schedule)}-event nemesis "
-          "schedule (deterministic replays)...")
+          f"schedule (deterministic replays, jobs={jobs})...")
 
     def still_fails(candidate):
         rerun = run_chaos(system, seed, opts, schedule=candidate,
                           planted_bug=planted_bug)
         return not rerun.ok
 
-    minimal = minimize_schedule(result.schedule, still_fails)
+    first_failing = None
+    if jobs > 1:
+        first_failing = _parallel_first_failing(system, seed, opts,
+                                                plant_bug_name, jobs)
+    minimal = minimize_schedule(result.schedule, still_fails,
+                                first_failing=first_failing)
     print(f"    minimal reproduction: seed {seed}, {len(minimal)} of "
           f"{len(result.schedule)} nemesis events:")
     for i, event in enumerate(minimal, 1):
@@ -129,7 +156,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="activate a known bug to validate the oracles")
     parser.add_argument("--no-minimize", action="store_true",
                         help="report failures without shrinking schedules")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for minimization replays "
+                             "(default 1: in-process)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     systems = list(SYSTEMS) if args.system == "all" else [
         canonical_system(args.system)]
@@ -160,7 +192,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _print_violations(result.violations)
             if not args.no_minimize:
                 _report_counterexample(system, seed, result, opts,
-                                       planted_bug)
+                                       planted_bug,
+                                       plant_bug_name=args.plant_bug,
+                                       jobs=args.jobs)
             # One counterexample is the deliverable; stop scanning.
             return 1
     total = len(systems) * len(seeds)

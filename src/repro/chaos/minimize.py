@@ -11,17 +11,44 @@ each event alone (most planted bugs need exactly one fault window), then
 bisect halves, then greedily drop one event at a time until the result
 is 1-minimal (removing any single remaining event makes the failure
 disappear).
+
+Every layer asks one question of a *batch* of candidates: "which is the
+first (lowest-index) candidate that still fails?".  That question is the
+``first_failing`` hook.  The default answer scans lazily with
+``still_fails`` — exactly the historical sequential behaviour, stopping
+at the first failure.  A parallel caller (``repro chaos --jobs N``)
+instead evaluates the whole batch concurrently through
+:meth:`repro.sweep.executor.SweepExecutor.first_failing` and returns the
+smallest failing index — the same selection, so the minimized schedule
+is identical regardless of worker count; only wall-clock changes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 Event = TypeVar("Event")
 
+#: Answers "which is the first failing candidate?" for a batch of
+#: candidate schedules; ``None`` means none of them fail.
+FirstFailing = Callable[[List[List[Event]]], Optional[int]]
+
+
+def _lazy_first_failing(still_fails: Callable[[List[Event]], bool]
+                        ) -> FirstFailing:
+    def first_failing(candidates: List[List[Event]]) -> Optional[int]:
+        for i, candidate in enumerate(candidates):
+            if still_fails(candidate):
+                return i
+        return None
+
+    return first_failing
+
 
 def minimize_schedule(events: Sequence[Event],
-                      still_fails: Callable[[List[Event]], bool]
+                      still_fails: Callable[[List[Event]], bool],
+                      *,
+                      first_failing: Optional[FirstFailing] = None
                       ) -> List[Event]:
     """Shrink ``events`` to a 1-minimal failing subsequence.
 
@@ -29,32 +56,36 @@ def minimize_schedule(events: Sequence[Event],
     candidate events injected and reports whether an oracle still
     trips.  The caller must already know the full schedule fails; an
     empty input returns empty.
+
+    ``first_failing`` optionally overrides how candidate batches are
+    evaluated (see the module docstring); it must return the smallest
+    index of a failing candidate, which keeps the result independent of
+    evaluation order.
     """
+    if first_failing is None:
+        first_failing = _lazy_first_failing(still_fails)
     current = list(events)
     if len(current) <= 1:
         return current
     # Fast path: one event alone often reproduces the failure.
-    for event in current:
-        if still_fails([event]):
-            return [event]
+    winner = first_failing([[event] for event in current])
+    if winner is not None:
+        return [current[winner]]
     # Bisection: keep whichever half still fails, while one does.
     while len(current) > 2:
         half = len(current) // 2
-        first, second = current[:half], current[half:]
-        if still_fails(first):
-            current = first
-        elif still_fails(second):
-            current = second
-        else:
+        winner = first_failing([current[:half], current[half:]])
+        if winner is None:
             break
+        current = current[:half] if winner == 0 else current[half:]
     # Greedy pass: drop single events until 1-minimal.
     changed = True
     while changed and len(current) > 1:
         changed = False
-        for i in range(len(current)):
-            candidate = current[:i] + current[i + 1:]
-            if still_fails(candidate):
-                current = candidate
-                changed = True
-                break
+        candidates = [current[:i] + current[i + 1:]
+                      for i in range(len(current))]
+        winner = first_failing(candidates)
+        if winner is not None:
+            current = candidates[winner]
+            changed = True
     return current

@@ -14,7 +14,7 @@ Usage::
     python -m repro perf run --quick     # benchmark suites -> BENCH_*.json
     python -m repro perf compare BENCH_seed.json BENCH_pr.json
 
-    python -m repro fig4 [--scale full]
+    python -m repro fig4 [--scale full] [--jobs N]
     python -m repro fig5 [--scale full]  # shares the sweep with fig6
     python -m repro fig6 [--scale full]
     python -m repro fig7 [--scale full]
@@ -116,8 +116,20 @@ def _ops_table(ops_by_label: Dict[str, Dict[str, int]]) -> str:
         ["system", "events", "cancelled", "messages"], rows)
 
 
+def _sweep_summary(args) -> None:
+    """One-line executor summary after each figure command: worker
+    count, cache hit/miss counts, and sweep wall-clock."""
+    executor = getattr(args, "_executor", None)
+    if executor is None:
+        return
+    stats = executor.stats
+    print(f"\n[sweep] jobs={stats.jobs} cache hits={stats.hits} "
+          f"misses={stats.misses} wall={stats.wall_seconds:.2f}s")
+
+
 def _latency_figure(args, name: str, runner: Callable) -> None:
-    results = runner(args.scale)
+    results = runner(args.scale, executor=getattr(args, "_executor",
+                                                  None))
     recorders = experiments.latency_recorders(results)
     ops_by_label = {r.label: r.op_counters for r in results.values()}
     print(f"{name} (EC2 topology, 200 tps, scale={args.scale})")
@@ -131,6 +143,7 @@ def _latency_figure(args, name: str, runner: Callable) -> None:
                 "ops": ops_by_label[label]}
         for label, recorder in recorders.items()
     })
+    _sweep_summary(args)
 
 
 def cmd_fig4(args) -> None:
@@ -146,7 +159,7 @@ def cmd_fig8(args) -> None:
 def _sweep(args) -> Dict:
     if getattr(args, "_sweep_cache", None) is None:
         args._sweep_cache = experiments.throughput_sweep_experiment(
-            args.scale)
+            args.scale, executor=getattr(args, "_executor", None))
     return args._sweep_cache
 
 
@@ -172,6 +185,7 @@ def cmd_fig5(args) -> None:
                 [r.op_counters for r in points]
                 for system, points in sweep.items()},
     })
+    _sweep_summary(args)
 
 
 def cmd_fig6(args) -> None:
@@ -181,6 +195,7 @@ def cmd_fig6(args) -> None:
           f"(Retwis, 5 ms uniform RTT, scale={args.scale})")
     print(render_throughput_sweep(series))
     _emit_json(args.json, series)
+    _sweep_summary(args)
 
 
 def cmd_fig7(args) -> None:
@@ -228,11 +243,20 @@ def build_parser() -> argparse.ArgumentParser:
                "run `python -m repro <verb> --help` for each")
     parser.add_argument("experiment", choices=sorted(COMMANDS),
                         help="which table/figure to regenerate")
-    parser.add_argument("--scale", choices=["quick", "full"],
+    parser.add_argument("--scale", choices=["smoke", "quick", "full"],
                         default="quick",
-                        help="quick (default) or paper-length runs")
+                        help="smoke (CI), quick (default), or "
+                             "paper-length runs")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write measured series to a JSON file")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for figure sweeps "
+                             "(default 1: in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk sweep result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="sweep result cache directory (default: "
+                             "$REPRO_SWEEP_CACHE or .repro-sweep-cache)")
     parser.add_argument("--system", choices=["basic", "fast", "tapir",
                                              "layered"],
                         default="basic",
@@ -263,8 +287,22 @@ def main(argv=None) -> int:
         return perf_main(argv)
     args = build_parser().parse_args(argv)
     args._sweep_cache = None
+    args._executor = _build_executor(args)
     COMMANDS[args.experiment](args)
     return 0
+
+
+def _build_executor(args):
+    """The figure-sweep executor for this invocation: ``--jobs`` worker
+    processes, with the on-disk result cache on by default."""
+    from repro.sweep import ResultCache, SweepExecutor, default_cache_dir
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return SweepExecutor(jobs=args.jobs, cache=cache)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -55,10 +55,26 @@ def _rate(value: float) -> str:
 def cmd_run(args) -> int:
     names = _parse_suites(args.suites)
     scale = "full" if args.full else "quick"
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    executor = None
+    cache_stats = None
+    if args.jobs > 1:
+        from repro.sweep import SweepExecutor
+
+        # Perf reps are never cached (rates must be measured fresh), so
+        # the executor runs cacheless; the BENCH document still records
+        # the hit/miss counts for the run that produced it.
+        executor = SweepExecutor(jobs=args.jobs, cache=None)
     results = run_suites(names, scale=scale,
                          progress=lambda name:
-                         print(f"  running {name} ...", flush=True))
-    doc = bench_document(results, label=args.label, scale=scale)
+                         print(f"  running {name} ...", flush=True),
+                         executor=executor)
+    if executor is not None:
+        cache_stats = {"hits": executor.stats.hits,
+                       "misses": executor.stats.misses}
+    doc = bench_document(results, label=args.label, scale=scale,
+                         jobs=args.jobs, cache_stats=cache_stats)
     errors = validate_bench(doc)
     if errors:  # pragma: no cover - a bug in suites/schema, not user error
         raise SystemExit("generated BENCH document is invalid:\n  "
@@ -105,6 +121,11 @@ def cmd_compare(args) -> int:
     result = compare_benches(baseline, candidate,
                              threshold=args.threshold)
     _report_compare(result, ops_only=args.ops_only)
+    if result.host_diffs:
+        diffs = ", ".join(
+            f"{key}: {v['base']!r} -> {v['cand']!r}"
+            for key, v in sorted(result.host_diffs.items()))
+        print(f"\nhost differs (informational, never gates): {diffs}")
     if result.ok(ops_only=args.ops_only):
         print("\ncompare: OK")
         return 0
@@ -130,6 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="output path (default: BENCH_<label>.json)")
     run.add_argument("--suites", default=None, metavar="A,B,...",
                      help="comma-separated suite subset (default: all)")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for suite repetitions "
+                          "(default 1: in-process)")
     scale = run.add_mutually_exclusive_group()
     scale.add_argument("--quick", action="store_true", default=True,
                        help="CI-sized runs (default)")

@@ -34,6 +34,10 @@ class CompareResult:
     deltas: List[SuiteDelta] = field(default_factory=list)
     missing_in_candidate: List[str] = field(default_factory=list)
     extra_in_candidate: List[str] = field(default_factory=list)
+    #: Informational ``host``-block differences (cpu_count, jobs,
+    #: python, ...): two ops-exact-equal files from different machines
+    #: or worker counts differ here, so this NEVER gates :meth:`ok`.
+    host_diffs: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def regressions(self) -> List[SuiteDelta]:
@@ -82,6 +86,12 @@ def compare_benches(baseline: Dict[str, Any], candidate: Dict[str, Any],
     base_suites = baseline["suites"]
     cand_suites = candidate["suites"]
     result = CompareResult(threshold=threshold)
+    base_host = baseline.get("host", {})
+    cand_host = candidate.get("host", {})
+    for key in sorted(set(base_host) | set(cand_host)):
+        if base_host.get(key) != cand_host.get(key):
+            result.host_diffs[key] = {"base": base_host.get(key),
+                                      "cand": cand_host.get(key)}
     result.missing_in_candidate = sorted(set(base_suites) - set(cand_suites))
     result.extra_in_candidate = sorted(set(cand_suites) - set(base_suites))
     for name in sorted(set(base_suites) & set(cand_suites)):

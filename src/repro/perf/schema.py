@@ -23,7 +23,16 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 #: Current document version; bump when the shape changes.
-SCHEMA_VERSION = 1
+#:
+#: v2 added the informational ``host.cpu_count`` / ``host.jobs`` fields
+#: and the optional top-level ``cache`` block (sweep-cache hit/miss
+#: counts for the run that produced the document).  v1 files remain
+#: valid — ops comparison is version-independent — so committed
+#: baselines need no regeneration.
+SCHEMA_VERSION = 2
+
+#: Document versions the validator accepts.
+ACCEPTED_VERSIONS = (1, 2)
 
 #: Units a suite may report its rate in.
 UNITS = ("events", "messages", "txns", "keys")
@@ -35,7 +44,7 @@ BENCH_SCHEMA: Dict[str, Any] = {
     "type": "object",
     "required": ["schema_version", "label", "scale", "host", "suites"],
     "properties": {
-        "schema_version": {"const": SCHEMA_VERSION},
+        "schema_version": {"enum": list(ACCEPTED_VERSIONS)},
         "label": {"type": "string", "minLength": 1},
         "scale": {"enum": ["quick", "full"]},
         "created_unix": {"type": "number"},
@@ -46,6 +55,16 @@ BENCH_SCHEMA: Dict[str, Any] = {
                 "python": {"type": "string"},
                 "platform": {"type": "string"},
                 "implementation": {"type": "string"},
+                "cpu_count": {"type": "integer", "minimum": 1},
+                "jobs": {"type": "integer", "minimum": 1},
+            },
+        },
+        "cache": {
+            "type": "object",
+            "required": ["hits", "misses"],
+            "properties": {
+                "hits": {"type": "integer", "minimum": 0},
+                "misses": {"type": "integer", "minimum": 0},
             },
         },
         "suites": {
@@ -97,8 +116,9 @@ def validate_bench(doc: Any) -> List[str]:
     if errors:
         return errors
 
-    if doc["schema_version"] != SCHEMA_VERSION:
-        errors.append(f"schema_version must be {SCHEMA_VERSION}, "
+    if doc["schema_version"] not in ACCEPTED_VERSIONS:
+        errors.append(f"schema_version must be one of "
+                      f"{ACCEPTED_VERSIONS}, "
                       f"got {doc['schema_version']!r}")
     if not isinstance(doc["label"], str) or not doc["label"]:
         errors.append("label must be a non-empty string")
@@ -115,6 +135,20 @@ def validate_bench(doc: Any) -> List[str]:
         for key in ("python", "platform", "implementation"):
             if not isinstance(host.get(key), str):
                 errors.append(f"host.{key} must be a string")
+        for key in ("cpu_count", "jobs"):
+            if key in host and (not _is_int(host[key])
+                                or host[key] < 1):
+                errors.append(f"host.{key} must be a positive integer")
+
+    if "cache" in doc:
+        cache = doc["cache"]
+        if not isinstance(cache, dict):
+            errors.append("cache must be an object")
+        else:
+            for key in ("hits", "misses"):
+                if not _is_int(cache.get(key)) or cache[key] < 0:
+                    errors.append(f"cache.{key} must be a non-negative "
+                                  "integer")
 
     suites = doc["suites"]
     if not isinstance(suites, dict) or not suites:

@@ -27,6 +27,7 @@ All suites seed their kernels explicitly, so the op counters of a given
 
 from __future__ import annotations
 
+import os
 import platform
 import sys
 import time
@@ -81,17 +82,11 @@ class SuiteResult:
 #: Microbenchmark repetitions; the reported wall time is the *minimum*
 #: (the standard defence against scheduler noise on shared hosts — the
 #: fastest rep is the one least disturbed by the OS).  Ops are identical
-#: across reps by construction, so only the timing benefits.
+#: across reps by construction, so only the timing benefits.  Each
+#: ``_bench_*`` function below runs exactly ONE rep; repetition and the
+#: best-of merge live in :func:`merge_reps`, so a sweep executor can
+#: fan the reps out as independent specs and merge them identically.
 _MICRO_REPS = 3
-
-
-def _best_of(once: Callable[[], SuiteResult]) -> SuiteResult:
-    result = once()
-    for _ in range(_MICRO_REPS - 1):
-        rep = once()
-        if rep.wall_seconds < result.wall_seconds:
-            result = rep
-    return result
 
 
 def _bench_kernel_churn(scheduler: str, scale: str) -> SuiteResult:
@@ -121,7 +116,7 @@ def _bench_kernel_churn(scheduler: str, scale: str) -> SuiteResult:
                            unit="events", units_processed=executed,
                            wall_seconds=wall, ops=kernel.op_counters())
 
-    return _best_of(once)
+    return once()
 
 
 def _bench_timer_cancel(scheduler: str, scale: str) -> SuiteResult:
@@ -162,7 +157,7 @@ def _bench_timer_cancel(scheduler: str, scale: str) -> SuiteResult:
                            unit="events", units_processed=executed,
                            wall_seconds=wall, ops=kernel.op_counters())
 
-    return _best_of(once)
+    return once()
 
 
 # ----------------------------------------------------------------------
@@ -221,7 +216,7 @@ def _bench_net_send(scale: str) -> SuiteResult:
                            wall_seconds=wall,
                            ops=_net_ops(kernel, network))
 
-    return _best_of(once)
+    return once()
 
 
 def _bench_net_send_traced(scale: str) -> SuiteResult:
@@ -251,7 +246,7 @@ def _bench_net_send_traced(scale: str) -> SuiteResult:
                            wall_seconds=wall,
                            ops=_net_ops(kernel, network))
 
-    return _best_of(once)
+    return once()
 
 
 # ----------------------------------------------------------------------
@@ -282,7 +277,7 @@ def _bench_zipf(method: str, scale: str) -> SuiteResult:
                            ops={"draws": n_draws, "n_keys": n_keys,
                                 "rank_sum": rank_sum})
 
-    return _best_of(once)
+    return once()
 
 
 # ----------------------------------------------------------------------
@@ -340,7 +335,8 @@ def _bench_e2e(system: str, scale: str) -> SuiteResult:
 # ----------------------------------------------------------------------
 # registry
 
-SUITES: Dict[str, Callable[[str], SuiteResult]] = {
+#: Single-rep builders, in registry (report) order.
+_SUITE_BUILDERS: Dict[str, Callable[[str], SuiteResult]] = {
     "kernel-churn-heap": lambda s: _bench_kernel_churn("heap", s),
     "kernel-churn-calendar": lambda s: _bench_kernel_churn("calendar", s),
     "timer-cancel-heap": lambda s: _bench_timer_cancel("heap", s),
@@ -355,35 +351,122 @@ SUITES: Dict[str, Callable[[str], SuiteResult]] = {
     "e2e-tapir": lambda s: _bench_e2e("tapir", s),
 }
 
+#: Repetitions per suite: microbenchmarks run best-of-``_MICRO_REPS``,
+#: the long e2e suites run once.
+SUITE_REPS: Dict[str, int] = {
+    name: (1 if name.startswith("e2e-") else _MICRO_REPS)
+    for name in _SUITE_BUILDERS
+}
+
+
+def run_suite_rep(name: str, scale: str) -> SuiteResult:
+    """Run exactly one repetition of ``name`` — the unit of work a sweep
+    worker executes for a ``perf-suite`` run spec."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of "
+                         f"{SCALES}")
+    if name not in _SUITE_BUILDERS:
+        raise ValueError(f"unknown suite {name!r}")
+    return _SUITE_BUILDERS[name](scale)
+
+
+def merge_reps(reps: List[SuiteResult]) -> SuiteResult:
+    """Best-of merge: keep the rep with the lowest wall time.
+
+    Reps of a deterministic suite must agree on every op counter; a
+    divergence means the suite is not actually deterministic, which
+    would silently corrupt CI's exact ops comparison — so it is an
+    error, not a warning.
+    """
+    best = reps[0]
+    for rep in reps[1:]:
+        if (rep.ops != best.ops
+                or rep.units_processed != best.units_processed):
+            raise RuntimeError(
+                f"suite {best.name!r}: op counters diverged across "
+                "repetitions; the suite is not deterministic")
+        if rep.wall_seconds < best.wall_seconds:
+            best = rep
+    return best
+
+
+def _run_suite(name: str, scale: str) -> SuiteResult:
+    return merge_reps([run_suite_rep(name, scale)
+                       for _ in range(SUITE_REPS[name])])
+
+
+#: Compatibility registry: ``SUITES[name](scale)`` runs the full
+#: best-of-reps suite in-process, exactly as before the sweep executor.
+SUITES: Dict[str, Callable[[str], SuiteResult]] = {
+    name: (lambda s, _n=name: _run_suite(_n, s))
+    for name in _SUITE_BUILDERS
+}
+
 
 def run_suites(names: Optional[List[str]] = None, scale: str = "quick",
-               progress: Optional[Callable[[str], None]] = None
-               ) -> Dict[str, SuiteResult]:
+               progress: Optional[Callable[[str], None]] = None,
+               executor=None) -> Dict[str, SuiteResult]:
     """Run the requested suites (all of them by default) and return
-    ``{name: SuiteResult}`` in registry order."""
+    ``{name: SuiteResult}`` in registry order.
+
+    With a multi-worker ``executor`` (a
+    :class:`repro.sweep.executor.SweepExecutor` with ``jobs > 1``),
+    every repetition of every suite becomes an independent run spec and
+    the reps fan out across worker processes; each suite's reps are then
+    merged with :func:`merge_reps`, so ops match the sequential path
+    exactly and only the wall-clock timing differs.  Perf specs are
+    never cached — rates must be measured fresh on every run.
+    """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; expected one of "
                          f"{SCALES}")
     if names is None:
-        names = list(SUITES)
-    unknown = [name for name in names if name not in SUITES]
+        names = list(_SUITE_BUILDERS)
+    unknown = [name for name in names if name not in _SUITE_BUILDERS]
     if unknown:
         raise ValueError(f"unknown suites: {', '.join(unknown)}; "
-                         f"known: {', '.join(SUITES)}")
-    results: Dict[str, SuiteResult] = {}
-    for name in SUITES:
-        if name not in names:
-            continue
-        if progress is not None:
-            progress(name)
-        results[name] = SUITES[name](scale)
-    return results
+                         f"known: {', '.join(_SUITE_BUILDERS)}")
+    selected = [name for name in _SUITE_BUILDERS if name in names]
+
+    if executor is None or getattr(executor, "jobs", 1) <= 1:
+        results: Dict[str, SuiteResult] = {}
+        for name in selected:
+            if progress is not None:
+                progress(name)
+            results[name] = _run_suite(name, scale)
+        return results
+
+    from repro.sweep.kinds import perf_suite_spec
+
+    specs = []
+    for name in selected:
+        for rep in range(SUITE_REPS[name]):
+            specs.append(perf_suite_spec(name, scale, rep))
+    if progress is not None:
+        progress(f"{len(specs)} suite reps across "
+                 f"{executor.jobs} workers")
+    flat = executor.run(specs)
+    merged: Dict[str, SuiteResult] = {}
+    cursor = 0
+    for name in selected:
+        reps = SUITE_REPS[name]
+        merged[name] = merge_reps(flat[cursor:cursor + reps])
+        cursor += reps
+    return merged
 
 
 def bench_document(results: Dict[str, SuiteResult], label: str,
-                   scale: str) -> Dict[str, object]:
-    """Assemble a schema-valid BENCH document from suite results."""
-    return {
+                   scale: str, jobs: int = 1,
+                   cache_stats: Optional[Dict[str, int]] = None
+                   ) -> Dict[str, object]:
+    """Assemble a schema-valid BENCH document from suite results.
+
+    ``jobs`` and the host's CPU count are recorded in the ``host`` block
+    (informational: two files may differ there and still be ops-exact
+    equal); ``cache_stats`` (``{"hits": .., "misses": ..}``) records
+    sweep-cache behaviour for the run that produced the document.
+    """
+    doc = {
         "schema_version": SCHEMA_VERSION,
         "label": label,
         "scale": scale,
@@ -392,7 +475,13 @@ def bench_document(results: Dict[str, SuiteResult], label: str,
             "python": platform.python_version(),
             "platform": platform.platform(),
             "implementation": sys.implementation.name,
+            "cpu_count": os.cpu_count() or 1,
+            "jobs": jobs,
         },
         "suites": {name: result.to_json()
                    for name, result in results.items()},
     }
+    if cache_stats is not None:
+        doc["cache"] = {"hits": int(cache_stats.get("hits", 0)),
+                        "misses": int(cache_stats.get("misses", 0))}
+    return doc

@@ -116,6 +116,22 @@ class LatencyRecorder:
             "mean_ms": self.mean(),
         }
 
+    def to_json(self) -> Dict[str, object]:
+        """Full state (samples and window) for cross-process records."""
+        return {
+            "name": self.name,
+            "samples": list(self.samples),
+            "window": list(self._window) if self._window else None,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "LatencyRecorder":
+        recorder = cls(doc.get("name", ""))
+        if doc.get("window") is not None:
+            recorder.set_window(*doc["window"])
+        recorder.samples = [float(v) for v in doc["samples"]]
+        return recorder
+
 
 class SeriesRecorder:
     """Counts categorized events inside a time window.
@@ -172,6 +188,22 @@ class SeriesRecorder:
         if denom == 0:
             return 0.0
         return self.count(category) / denom
+
+    def to_json(self) -> Dict[str, object]:
+        """Full state (counts and window) for cross-process records."""
+        return {
+            "counts": dict(sorted(self.counts.items())),
+            "window": list(self._window) if self._window else None,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "SeriesRecorder":
+        recorder = cls()
+        if doc.get("window") is not None:
+            recorder.set_window(*doc["window"])
+        recorder.counts = {str(k): int(v)
+                           for k, v in doc["counts"].items()}
+        return recorder
 
 
 def link_fault_summary(network) -> List[Tuple[str, str, int, int, int,

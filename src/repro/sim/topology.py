@@ -91,6 +91,27 @@ class Topology:
         return min(candidates, key=lambda dc: (self.rtt(origin, dc),
                                                candidates.index(dc)))
 
+    def to_json(self) -> Dict[str, object]:
+        """A canonical JSON form (one orientation per pair, sorted) —
+        the picklable/cacheable shape used by sweep run specs."""
+        pairs = {}
+        for (a, b), rtt in self._rtt.items():
+            key = tuple(sorted((a, b)))
+            pairs[key] = rtt
+        return {
+            "datacenters": list(self.datacenters),
+            "rtt_ms": [[a, b, rtt]
+                       for (a, b), rtt in sorted(pairs.items())],
+            "intra_dc_rtt_ms": self.intra_dc_rtt_ms,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "Topology":
+        """Rebuild a topology from :meth:`to_json` output."""
+        rtts = {(a, b): rtt for a, b, rtt in doc["rtt_ms"]}
+        return cls(doc["datacenters"], rtts,
+                   intra_dc_rtt_ms=doc["intra_dc_rtt_ms"])
+
     def __contains__(self, dc: str) -> bool:
         return dc in self.datacenters
 

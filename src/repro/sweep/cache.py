@@ -1,0 +1,76 @@
+"""On-disk, content-addressed result cache for sweep runs.
+
+Each cached record lives in its own JSON file named by the run's digest
+(``<root>/<digest[:2]>/<digest>.json``), so the cache needs no index, is
+safe under concurrent writers (atomic ``os.replace`` of a temp file),
+and invalidates itself: any change to a spec's parameters *or* to
+result-relevant code produces a different digest (see
+:func:`repro.sweep.spec.code_fingerprint`), which simply misses.
+
+Documents store the spec alongside the record for debuggability — a
+cache entry is self-describing, never load-bearing for correctness.
+Corrupt or unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.sweep.spec import RunSpec
+
+#: Environment variable overriding the default cache location.
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_SWEEP_CACHE`` or ``.repro-sweep-cache`` in the CWD."""
+    return Path(os.environ.get(CACHE_ENV, ".repro-sweep-cache"))
+
+
+class ResultCache:
+    """Content-addressed store of serialized run records."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[Any]:
+        """The cached record for ``digest``, or ``None`` on a miss."""
+        path = self._path(digest)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) or doc.get("digest") != digest:
+            return None
+        return doc.get("record")
+
+    def put(self, digest: str, spec: RunSpec, record: Any) -> None:
+        """Store ``record`` (a JSON-serializable value) under ``digest``."""
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "digest": digest,
+            "kind": spec.kind,
+            "label": spec.label,
+            "payload": spec.payload,
+            "record": record,
+        }
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -46,6 +46,30 @@ class WorkloadStats:
         """Fraction of completed transactions that aborted."""
         return self.outcomes.fraction(ABORTED, of=(COMMITTED, ABORTED))
 
+    def to_json(self) -> Dict[str, object]:
+        """Full measurement state as JSON, for sweep records that must
+        cross process boundaries and live in the on-disk cache."""
+        return {
+            "latency": self.latency.to_json(),
+            "outcomes": self.outcomes.to_json(),
+            "by_type": {name: rec.to_json()
+                        for name, rec in sorted(self.by_type.items())},
+            "abort_reasons": dict(sorted(self.abort_reasons.items())),
+            "submitted": self.submitted,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "WorkloadStats":
+        return cls(
+            latency=LatencyRecorder.from_json(doc["latency"]),
+            outcomes=SeriesRecorder.from_json(doc["outcomes"]),
+            by_type={name: LatencyRecorder.from_json(rec)
+                     for name, rec in doc["by_type"].items()},
+            abort_reasons={str(k): int(v)
+                           for k, v in doc["abort_reasons"].items()},
+            submitted=int(doc["submitted"]),
+        )
+
 
 class WorkloadDriver:
     """Drives one workload against one deployment."""

@@ -1,0 +1,88 @@
+"""Integration tests for parallel figure sweeps.
+
+The acceptance contract of ``repro.sweep``: the merged output of a real
+figure sweep is byte-identical across worker counts and across the
+cache, matches the historical in-process path exactly, and a worker
+crash surfaces the failing spec instead of hanging.
+"""
+
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.sim.topology import uniform_topology
+from repro.sweep import (
+    ResultCache,
+    RunSpec,
+    SweepError,
+    SweepExecutor,
+    canonical_json,
+    code_fingerprint,
+)
+from repro.sweep.kinds import figure_spec
+
+#: Two systems x two targets on a tiny uniform cluster: a real sweep,
+#: small enough to run four times in this module.
+_TOPO = uniform_topology(3, 5.0)
+_PARAMS = dict(duration_ms=700.0, warmup_ms=200.0, cooldown_ms=100.0,
+               n_keys=500, seed=6, clients_per_dc=2, closed_loop=True)
+
+
+def _specs():
+    return [
+        figure_spec(system=system, workload="retwis", target_tps=target,
+                    topology=_TOPO, label=f"{system}@{target:g}",
+                    **_PARAMS)
+        for system in ("carousel-fast", "tapir")
+        for target in (150.0, 400.0)
+    ]
+
+
+def _blob(records):
+    return canonical_json([r.to_json() for r in records])
+
+
+def test_jobs1_and_jobs4_merge_byte_identical():
+    seq = SweepExecutor(jobs=1).run(_specs())
+    par = SweepExecutor(jobs=4).run(_specs())
+    assert _blob(seq) == _blob(par)
+    # Same params -> same spec -> same digests: the cache key does not
+    # depend on worker count either.
+    fp = code_fingerprint()
+    assert [s.digest(fp) for s in _specs()] == \
+        [s.digest(fp) for s in _specs()]
+
+
+def test_sweep_matches_direct_in_process_run():
+    record = SweepExecutor(jobs=1).run(_specs()[:1])[0]
+    direct = run_workload("carousel-fast", "retwis", target_tps=150.0,
+                          topology=_TOPO, **_PARAMS).record()
+    assert canonical_json(record.to_json()) == \
+        canonical_json(direct.to_json())
+    assert record.op_counters == direct.op_counters
+
+
+def test_warm_cache_reproduces_cold_results(tmp_path):
+    cache = ResultCache(tmp_path)
+    cold_ex = SweepExecutor(jobs=2, cache=cache)
+    cold = cold_ex.run(_specs())
+    assert cold_ex.stats.misses == 4 and cold_ex.stats.hits == 0
+
+    warm_ex = SweepExecutor(jobs=2, cache=cache)
+    warm = warm_ex.run(_specs())
+    assert warm_ex.stats.hits == 4 and warm_ex.stats.misses == 0
+    assert _blob(warm) == _blob(cold)
+
+
+def test_worker_crash_reports_failing_spec_and_does_not_hang():
+    bad = RunSpec.make(
+        "figure",
+        dict(_PARAMS, system="no-such-system", workload="retwis",
+             target_tps=100.0, topology=_TOPO.to_json()),
+        label="the-crasher")
+    specs = _specs()[:2] + [bad]
+    with pytest.raises(SweepError) as excinfo:
+        SweepExecutor(jobs=2).run(specs)
+    failures = excinfo.value.failures
+    assert [spec.label for spec, _ in failures] == ["the-crasher"]
+    assert "unknown system" in failures[0][1]
+    assert "the-crasher" in str(excinfo.value)

@@ -277,6 +277,42 @@ def test_secrets_import_is_error():
 
 
 # ----------------------------------------------------------------------
+# sweep/ allowlist: the executor measures from outside the kernel
+# ----------------------------------------------------------------------
+def test_wallclock_and_getpid_allowed_in_sweep():
+    src = """
+    import os
+    import time
+
+    def measure():
+        start = time.perf_counter()
+        tmp = f".tmp{os.getpid()}"
+        return time.perf_counter() - start, tmp
+    """
+    assert codes(src, path="src/repro/sweep/executor.py") == []
+
+
+def test_wallclock_still_flagged_in_protocol_code():
+    src = """
+    import time
+
+    def now(self):
+        return time.time()
+    """
+    assert codes(src, path="src/repro/core/coordinator.py") == ["DL003"]
+
+
+def test_getpid_still_flagged_in_protocol_code():
+    src = """
+    import os
+
+    def worker_id(self):
+        return os.getpid()
+    """
+    assert codes(src, path="src/repro/core/coordinator.py") == ["DL007"]
+
+
+# ----------------------------------------------------------------------
 # DL008 id-hash-order
 # ----------------------------------------------------------------------
 def test_sort_key_id_is_error():

@@ -88,6 +88,25 @@ class TestBenchSchema:
         suite["wall_seconds"] = 0.0
         assert validate_bench(_doc(s=suite)) != []
 
+    def test_v1_documents_remain_valid(self):
+        # The committed BENCH_seed.json predates schema v2; the
+        # validator must keep accepting it without regeneration.
+        doc = _doc()
+        doc["schema_version"] = 1
+        assert validate_bench(doc) == []
+
+    def test_v2_host_and_cache_blocks(self):
+        doc = _doc()
+        doc["host"]["cpu_count"] = 4
+        doc["host"]["jobs"] = 2
+        doc["cache"] = {"hits": 3, "misses": 1}
+        assert validate_bench(doc) == []
+        doc["host"]["cpu_count"] = 0
+        assert validate_bench(doc) != []
+        doc["host"]["cpu_count"] = 4
+        doc["cache"] = {"hits": -1, "misses": 0}
+        assert validate_bench(doc) != []
+
 
 # ----------------------------------------------------------------------
 # compare
@@ -153,6 +172,18 @@ class TestCompare:
         with pytest.raises(ValueError):
             compare_benches(_doc(), _doc(), threshold=1.5)
 
+    def test_host_only_differences_never_gate(self):
+        base = _doc()
+        cand = _doc()
+        cand["host"] = dict(cand["host"], cpu_count=8, jobs=4,
+                            platform="other-box")
+        result = compare_benches(base, cand)
+        assert result.ok()
+        assert result.ok(ops_only=True)
+        assert set(result.host_diffs) == {"cpu_count", "jobs",
+                                          "platform"}
+        assert result.host_diffs["jobs"] == {"base": None, "cand": 4}
+
 
 # ----------------------------------------------------------------------
 # suites
@@ -178,6 +209,39 @@ class TestSuites:
         doc = bench_document(runs[0], label="t", scale="quick")
         assert validate_bench(doc) == []
         assert runs[0]["zipf-approx"].ops == runs[1]["zipf-approx"].ops
+
+    def test_parallel_executor_matches_sequential_ops(self):
+        from repro.sweep import SweepExecutor
+        names = ["zipf-approx"]
+        seq = run_suites(names, scale="quick")
+        ex = SweepExecutor(jobs=2, cache=None)
+        par = run_suites(names, scale="quick", executor=ex)
+        assert par["zipf-approx"].ops == seq["zipf-approx"].ops
+        assert par["zipf-approx"].units_processed == \
+            seq["zipf-approx"].units_processed
+        # Perf reps are uncacheable by design: no cache traffic at all.
+        assert (ex.stats.hits, ex.stats.misses) == (0, 0)
+
+    def test_merge_reps_rejects_diverging_ops(self):
+        from repro.perf.suites import merge_reps
+        a = SuiteResult(name="x", unit="events", units_processed=10,
+                        wall_seconds=2.0, ops={"n": 1})
+        b = SuiteResult(name="x", unit="events", units_processed=10,
+                        wall_seconds=1.0, ops={"n": 1})
+        assert merge_reps([a, b]).wall_seconds == 1.0
+        c = SuiteResult(name="x", unit="events", units_processed=10,
+                        wall_seconds=1.0, ops={"n": 2})
+        with pytest.raises(RuntimeError, match="diverged"):
+            merge_reps([a, c])
+
+    def test_bench_document_records_jobs_and_cache(self):
+        results = run_suites(["zipf-approx"], scale="quick")
+        doc = bench_document(results, label="t", scale="quick", jobs=3,
+                             cache_stats={"hits": 2, "misses": 5})
+        assert validate_bench(doc) == []
+        assert doc["host"]["jobs"] == 3
+        assert doc["host"]["cpu_count"] >= 1
+        assert doc["cache"] == {"hits": 2, "misses": 5}
 
     def test_rate_property(self):
         result = SuiteResult(name="x", unit="events",
