@@ -12,24 +12,42 @@ those rules from review guidance into tooling:
   same scenario twice under different ``PYTHONHASHSEED`` values, records a
   compact digest stream of kernel activity, and localizes the *first*
   diverging event with its causal context.
+* :mod:`repro.analysis.protolint` — a protocol-conformance analyzer over
+  the extracted message graph (:mod:`repro.analysis.msggraph`): dead
+  letters, dead handlers, missing reply obligations, retry coverage,
+  idempotence guards, constructor field mismatches, and FSM conformance
+  against the declared state machines in :mod:`repro.analysis.fsm`.
 
-Both are exposed on the command line as ``python -m repro lint`` and
-``python -m repro divergence``; CI gates on a clean lint run over ``src/``.
+They are exposed on the command line as ``python -m repro lint``,
+``python -m repro protolint``, and ``python -m repro divergence``; CI
+gates on clean lint + protolint runs plus planted-bug self-checks.
 """
 
 from repro.analysis.detlint import RULES, Rule, lint_paths, lint_source
 from repro.analysis.digest import DigestRecorder
 from repro.analysis.divergence import DivergenceReport, run_divergence
-from repro.analysis.findings import Finding, format_findings
+from repro.analysis.findings import (Finding, format_findings,
+                                     format_github)
+from repro.analysis.msggraph import MessageGraph, build_graph
+from repro.analysis.protolint import (MessageContract, PROTOCOLS,
+                                      render_catalog)
+from repro.analysis.protolint import lint_paths as protolint_paths
 
 __all__ = [
     "DigestRecorder",
     "DivergenceReport",
     "Finding",
+    "MessageContract",
+    "MessageGraph",
+    "PROTOCOLS",
     "RULES",
     "Rule",
+    "build_graph",
     "format_findings",
+    "format_github",
     "lint_paths",
     "lint_source",
+    "protolint_paths",
+    "render_catalog",
     "run_divergence",
 ]

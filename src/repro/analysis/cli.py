@@ -1,22 +1,63 @@
-"""CLI for the determinism sanitizer: ``repro lint`` / ``repro divergence``.
+"""CLI for the static analyzers: ``repro lint`` / ``repro protolint`` /
+``repro divergence``.
 
-Dispatched from :mod:`repro.cli` when the first argument is ``lint`` or
-``divergence``::
+Dispatched from :mod:`repro.cli` when the first argument is ``lint``,
+``protolint``, or ``divergence``::
 
     python -m repro lint src/                 # CI gate: exit 1 on findings
-    python -m repro lint --list-rules
+    python -m repro lint --format github      # workflow-annotation lines
+    python -m repro protolint                 # protocol-conformance checks
+    python -m repro protolint --catalog       # message-catalog report
+    python -m repro protolint --plant-bug dead-handler  # self-check
     python -m repro divergence --system basic # dual-run determinism check
     python -m repro divergence --plant-set-bug  # demo: localize a known bug
+
+Both linters exit 0 when clean and 1 on any non-suppressed finding
+(warnings included — suppressions, not severities, are the exemption
+mechanism); usage errors exit 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.detlint import RULES, lint_paths
-from repro.analysis.findings import format_findings
+from repro.analysis.findings import (Finding, format_findings,
+                                     format_github, sort_findings)
+
+#: Docs file carrying the generated message-catalog section.
+PROTOCOL_DOC = "PROTOCOL.md"
+
+
+def _print_rules(rules) -> None:
+    for rule in rules.values():
+        print(f"{rule.code}[{rule.slug}] ({rule.severity}): "
+              f"{rule.summary}")
+
+
+def _emit(findings: List[Finding], fmt: str, tool: str,
+          clean_message: str) -> int:
+    """Render findings in the chosen format; shared lint/protolint exit
+    discipline (0 clean / 1 findings)."""
+    if fmt == "json":
+        ordered = sort_findings(findings)
+        errors = sum(1 for f in ordered if f.rule.severity == "error")
+        print(json.dumps({
+            "tool": tool,
+            "findings": [f.to_dict() for f in ordered],
+            "errors": errors,
+            "warnings": len(ordered) - errors,
+        }, indent=2))
+    elif fmt == "github":
+        rendered = format_github(findings)
+        if rendered:
+            print(rendered)
+    else:
+        print(format_findings(findings, clean_message=clean_message))
+    return 1 if findings else 0
 
 
 def _build_lint_parser() -> argparse.ArgumentParser:
@@ -31,20 +72,109 @@ def _build_lint_parser() -> argparse.ArgumentParser:
     parser.add_argument("--keep-suppressed", action="store_true",
                         help="also report findings silenced by "
                              "'# detlint: ignore' annotations")
+    parser.add_argument("--format", choices=["text", "json", "github"],
+                        default="text", dest="fmt",
+                        help="output format (github = workflow "
+                             "annotations)")
     return parser
 
 
 def cmd_lint(argv: List[str]) -> int:
+    from repro.analysis.detlint import RULES, lint_paths
+
     args = _build_lint_parser().parse_args(argv)
     if args.list_rules:
-        for rule in RULES.values():
-            print(f"{rule.code}[{rule.slug}] ({rule.severity}): "
-                  f"{rule.summary}")
+        _print_rules(RULES)
         return 0
     findings = lint_paths(args.paths or ["src"],
                           keep_suppressed=args.keep_suppressed)
-    print(format_findings(findings))
-    return 1 if findings else 0
+    return _emit(findings, args.fmt, "detlint",
+                 clean_message="clean: no determinism findings")
+
+
+def _build_protolint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro protolint",
+        description="Static protocol-conformance analyzer over the "
+                    "message graph.  Exits nonzero on any non-suppressed "
+                    "finding.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze (default: "
+                             "the four protocol packages under src/repro)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--keep-suppressed", action="store_true",
+                        help="also report findings silenced by "
+                             "'# protolint: ignore' annotations")
+    parser.add_argument("--format", choices=["text", "json", "github"],
+                        default="text", dest="fmt",
+                        help="output format (github = workflow "
+                             "annotations)")
+    parser.add_argument("--catalog", action="store_true",
+                        help="print the generated message catalog "
+                             "(role -> sends/handles) and exit")
+    parser.add_argument("--check-docs", nargs="?", const=PROTOCOL_DOC,
+                        default=None, metavar="PATH",
+                        help="verify the catalog section in PATH "
+                             f"(default {PROTOCOL_DOC}) matches the "
+                             "code byte-for-byte; exit 1 on drift")
+    parser.add_argument("--write-docs", nargs="?", const=PROTOCOL_DOC,
+                        default=None, metavar="PATH",
+                        help="regenerate the catalog section in PATH "
+                             f"(default {PROTOCOL_DOC}) in place")
+    parser.add_argument("--plant-bug", choices=["dead-handler",
+                                                "missing-reply"],
+                        default=None,
+                        help="self-check: plant a known protocol bug in "
+                             "the scanned sources and lint the result "
+                             "(exit 1 proves the rules fire)")
+    return parser
+
+
+def cmd_protolint(argv: List[str]) -> int:
+    from repro.analysis import protolint
+    from repro.analysis.msggraph import build_graph, collect_sources
+
+    args = _build_protolint_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules(protolint.RULES)
+        return 0
+
+    paths = args.paths or protolint.default_paths()
+    if args.catalog or args.check_docs or args.write_docs:
+        graph = build_graph(collect_sources(paths))
+        catalog = protolint.render_catalog(graph)
+        if args.catalog:
+            print(catalog, end="")
+            return 0
+        doc = Path(args.check_docs or args.write_docs)
+        if not doc.is_file():
+            print(f"docs file not found: {doc}", file=sys.stderr)
+            return 2
+        text = doc.read_text(encoding="utf-8")
+        if args.write_docs:
+            doc.write_text(protolint.embed_catalog(text, catalog),
+                           encoding="utf-8")
+            print(f"[updated catalog section in {doc}]")
+            return 0
+        current = protolint.extract_doc_catalog(text)
+        if current is None:
+            print(f"{doc} has no protolint catalog markers",
+                  file=sys.stderr)
+            return 2
+        if current != catalog:
+            print(f"{doc} catalog section is stale; regenerate with "
+                  f"`python -m repro protolint --write-docs`",
+                  file=sys.stderr)
+            return 1
+        print(f"{doc} catalog section matches the code")
+        return 0
+
+    findings = protolint.lint_paths(
+        paths, plant=args.plant_bug,
+        keep_suppressed=args.keep_suppressed)
+    return _emit(findings, args.fmt, "protolint",
+                 clean_message="clean: no protocol-conformance findings")
 
 
 def _build_divergence_parser() -> argparse.ArgumentParser:
@@ -99,15 +229,18 @@ def cmd_divergence(argv: List[str]) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for the ``lint`` / ``divergence`` subcommands."""
+    """Entry point for the ``lint``/``protolint``/``divergence``
+    subcommands."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
-        print("usage: python -m repro {lint,divergence} ...",
+        print("usage: python -m repro {lint,protolint,divergence} ...",
               file=sys.stderr)
         return 2
     command, rest = argv[0], argv[1:]
     if command == "lint":
         return cmd_lint(rest)
+    if command == "protolint":
+        return cmd_protolint(rest)
     if command == "divergence":
         return cmd_divergence(rest)
     print(f"unknown analysis command {command!r}", file=sys.stderr)

@@ -438,7 +438,7 @@ def lint_source(source: str, path: str = "<string>",
     linter.visit(tree)
     if keep_suppressed:
         return linter.findings
-    suppressions = parse_suppressions(source)
+    suppressions = parse_suppressions(source, tool="detlint")
     return [f for f in linter.findings
             if not is_suppressed(f, suppressions)]
 

@@ -1,21 +1,28 @@
 """Lint findings, severities, and per-line suppression.
 
+Shared by every static analyzer in :mod:`repro.analysis` — detlint (the
+determinism sanitizer) and protolint (the protocol-conformance checker)
+use the same :class:`Rule`/:class:`Finding` model, the same suppression
+comments, and the same output formatters, so CI and editors only need one
+grammar.
+
 A :class:`Finding` is one rule violation at one source location.  Findings
-can be suppressed in source with a ``# detlint: ignore`` comment on the
+can be suppressed in source with a ``# <tool>: ignore`` comment on the
 flagged line (or on a comment-only line directly above it, for flagged
 statements that are already long)::
 
     for pid in state.participants:        # detlint: ignore[values-fanout]
         ...
 
-    # detlint: ignore[set-iter-send, set-iter]
-    for key in pending_keys:
+    # protolint: ignore[handler-mutation, PL006]
+    def on_writeback(self, msg):
         ...
 
 The bracket form suppresses only the named rules (codes like ``DL001`` or
 slugs like ``set-iter-send``); the bare form suppresses every rule on that
-line.  Suppressions are deliberate, grep-able exemptions: the CI gate fails
-on any finding that is *not* suppressed.
+line.  Suppressions are per-tool: a ``# detlint:`` comment never silences
+protolint and vice versa.  Suppressions are deliberate, grep-able
+exemptions: the CI gate fails on any finding that is *not* suppressed.
 """
 
 from __future__ import annotations
@@ -27,9 +34,13 @@ from typing import Dict, Iterable, List, Optional, Set
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
 
-#: ``# detlint: ignore`` / ``# detlint: ignore[rule, rule]``
+#: The analyzers that share this suppression grammar.
+SUPPRESSION_TOOLS = ("detlint", "protolint")
+
+#: ``# <tool>: ignore`` / ``# <tool>: ignore[rule, rule]``
 _SUPPRESS_RE = re.compile(
-    r"#\s*detlint:\s*ignore(?:\[([A-Za-z0-9_\-, ]*)\])?")
+    r"#\s*(?P<tool>" + "|".join(SUPPRESSION_TOOLS) +
+    r"):\s*ignore(?:\[(?P<names>[A-Za-z0-9_\-, ]*)\])?")
 
 
 @dataclass(frozen=True)
@@ -37,9 +48,8 @@ class Rule:
     """One lint rule: a stable code, a readable slug, and a severity.
 
     ``severity`` is informational — the CI gate fails on warnings too —
-    but tells a reader whether a site is nondeterministic per se (error)
-    or deterministic only under an ordering argument that should be stated
-    (warning).
+    but tells a reader whether a site is wrong per se (error) or correct
+    only under an argument that should be stated (warning).
     """
 
     code: str
@@ -66,14 +76,30 @@ class Finding:
         return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
                 f"{self.rule.severity}: {self.message}")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the ``--format json`` schema)."""
+        return {
+            "code": self.rule.code,
+            "slug": self.rule.slug,
+            "severity": self.rule.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
 
-def parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+
+def parse_suppressions(source: str,
+                       tool: str = "detlint",
+                       ) -> Dict[int, Optional[Set[str]]]:
     """Map 1-based line number -> suppressed rule names on that line.
 
-    ``None`` means "suppress every rule" (the bare ``ignore`` form); a set
-    holds the codes/slugs named in the bracket form.  A suppression on a
-    comment-only line also covers the next line, so long statements can
-    carry their annotation above themselves.
+    Only ``# <tool>: ignore`` comments count; annotations addressed to a
+    different analyzer are invisible here.  ``None`` means "suppress every
+    rule" (the bare ``ignore`` form); a set holds the codes/slugs named in
+    the bracket form.  A suppression on a comment-only line also covers
+    the next line, so long statements can carry their annotation above
+    themselves.
     """
     result: Dict[int, Optional[Set[str]]] = {}
 
@@ -85,21 +111,22 @@ def parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
             result[lineno] = existing | names
 
     for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(text)
-        if match is None:
-            continue
-        group = match.group(1)
-        if group is None:
-            names: Optional[Set[str]] = None
-        else:
-            names = {part.strip() for part in group.split(",")
-                     if part.strip()}
-            if not names:
-                names = None
-        merge(lineno, names)
-        if text.lstrip().startswith("#"):
-            # Comment-only line: the annotation covers the statement below.
-            merge(lineno + 1, names)
+        for match in _SUPPRESS_RE.finditer(text):
+            if match.group("tool") != tool:
+                continue
+            group = match.group("names")
+            if group is None:
+                names: Optional[Set[str]] = None
+            else:
+                names = {part.strip() for part in group.split(",")
+                         if part.strip()}
+                if not names:
+                    names = None
+            merge(lineno, names)
+            if text.lstrip().startswith("#"):
+                # Comment-only line: the annotation covers the statement
+                # below.
+                merge(lineno + 1, names)
     return result
 
 
@@ -114,10 +141,17 @@ def is_suppressed(finding: Finding,
     return finding.rule.code in names or finding.rule.slug in names
 
 
-def format_findings(findings: Iterable[Finding]) -> str:
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Stable location order shared by every output format."""
+    return sorted(findings,
+                  key=lambda f: (f.path, f.line, f.col, f.rule.code))
+
+
+def format_findings(findings: Iterable[Finding],
+                    clean_message: str = "clean: no determinism findings",
+                    ) -> str:
     """One line per finding, sorted by location, plus a summary line."""
-    ordered: List[Finding] = sorted(
-        findings, key=lambda f: (f.path, f.line, f.col, f.rule.code))
+    ordered = sort_findings(findings)
     lines = [f.format() for f in ordered]
     errors = sum(1 for f in ordered
                  if f.rule.severity == SEVERITY_ERROR)
@@ -126,5 +160,20 @@ def format_findings(findings: Iterable[Finding]) -> str:
         lines.append(f"{len(ordered)} finding(s): {errors} error(s), "
                      f"{warnings} warning(s)")
     else:
-        lines.append("clean: no determinism findings")
+        lines.append(clean_message)
+    return "\n".join(lines)
+
+
+def format_github(findings: Iterable[Finding]) -> str:
+    """GitHub Actions workflow-annotation lines (``--format github``).
+
+    One ``::error``/``::warning`` command per finding; an empty string
+    when clean (workflow commands for zero findings would be noise).
+    """
+    lines = []
+    for f in sort_findings(findings):
+        kind = ("error" if f.rule.severity == SEVERITY_ERROR
+                else "warning")
+        lines.append(f"::{kind} file={f.path},line={f.line},"
+                     f"col={f.col},title={f.rule}::{f.message}")
     return "\n".join(lines)

@@ -1,0 +1,717 @@
+"""Static extraction of the protocol message graph.
+
+protolint's world model.  One pass over the protocol packages' ASTs
+produces a :class:`MessageGraph`: every ``Message`` subclass (and every
+other dataclass, for constructor checking), every send site, every
+construction site, every ``isinstance`` dispatch branch, a per-protocol
+function map for reachability closures, and the raw material for FSM
+conformance (state-attribute assignments and comparisons).
+
+The extractor is deliberately syntactic — no imports are executed, no
+types are inferred.  It leans on this codebase's idioms instead:
+
+* messages go on the wire through calls named ``send``/``_send`` whose
+  second argument is (or was assigned from) a message constructor;
+* dispatchers are the functions named in :data:`DISPATCH_FUNCTIONS`,
+  whose ``isinstance`` chains may test single names, inline tuples, or
+  module/class tuple constants (``_PARTITION_MESSAGES``, ``RAFT_TYPES``);
+* protocol state machines store their state in a string attribute whose
+  values come from module-level string constants (``FOLLOWER``,
+  ``PHASE_READ``...).
+
+Everything here is stdlib-``ast``; no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+#: Functions whose ``isinstance`` chains are message dispatchers.
+DISPATCH_FUNCTIONS = frozenset({
+    "handle_message", "handle_app_message",
+    "dispatch_partition_message", "dispatch_coordinator_message",
+    "handle",
+})
+
+#: Call names that put a message on the wire.
+SEND_NAMES = frozenset({"send", "_send"})
+
+#: Attribute-call names that mutate per-transaction state (for the
+#: idempotence rule); plain subscript stores are deliberately excluded —
+#: they are dominated by writes to handler-local dicts.
+MUTATION_CALLS = frozenset({"append", "add", "propose"})
+
+#: Path fragment -> protocol name (first match wins).
+PROTOCOL_FRAGMENTS = (
+    ("core/", "carousel"),
+    ("layered/", "layered"),
+    ("tapir/", "tapir"),
+    ("raft/", "raft"),
+)
+
+
+def protocol_of(path: str) -> str:
+    """The protocol a file belongs to, from its path."""
+    posix = Path(path).as_posix()
+    for fragment, name in PROTOCOL_FRAGMENTS:
+        if fragment in posix:
+            return name
+    return "misc"
+
+
+# ---------------------------------------------------------------------------
+# Graph node types
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FieldDef:
+    """One dataclass field: its name and whether it has a default."""
+
+    name: str
+    has_default: bool
+
+
+@dataclass(frozen=True)
+class MessageDef:
+    """One message (or record) dataclass definition."""
+
+    name: str
+    path: str
+    line: int
+    protocol: str
+    fields: Tuple[FieldDef, ...]
+    #: True for ``Message`` subclasses (wire messages); False for other
+    #: dataclasses (replicated records, config, bookkeeping).
+    is_message: bool
+
+    def required_fields(self) -> Tuple[str, ...]:
+        """Names of fields without defaults, in declaration order."""
+        return tuple(f.name for f in self.fields if not f.has_default)
+
+
+@dataclass(frozen=True)
+class SendSite:
+    """One ``send(dst, Msg(...))`` call."""
+
+    msg_type: str
+    path: str
+    line: int
+    col: int
+    cls: Optional[str]
+    func: Optional[str]
+
+
+@dataclass
+class ConstructSite:
+    """One constructor call of a known message/record dataclass."""
+
+    msg_type: str
+    path: str
+    line: int
+    col: int
+    cls: Optional[str]
+    func: Optional[str]
+    kwargs: Tuple[str, ...]
+    n_pos: int
+    #: ``*args``/``**kwargs`` present — field checking is impossible.
+    has_star: bool
+    #: This construction (or the variable it was bound to) reached a send.
+    sent: bool = False
+
+
+@dataclass(frozen=True)
+class HandlerBranch:
+    """One ``isinstance`` dispatch branch for one message type."""
+
+    msg_type: str
+    path: str
+    line: int
+    cls: Optional[str]
+    func: str
+    #: Names of functions/methods called in the branch body.
+    targets: Tuple[str, ...]
+
+
+@dataclass
+class FuncInfo:
+    """Aggregate facts about one (protocol, function-name) unit.
+
+    Facts from same-named functions in the same protocol are unioned —
+    reachability closures over-approximate, which is the safe direction
+    for existence checks ("some reply is sent", "some guard exists").
+    """
+
+    name: str
+    protocol: str
+    sends: Set[str] = field(default_factory=set)
+    calls: Set[str] = field(default_factory=set)
+    #: Duplicate-delivery guards: ``in``/``not in`` membership tests,
+    #: ``.setdefault(...)``, comparisons against ``.get(...)``.
+    guard_sites: List[Tuple[str, int]] = field(default_factory=list)
+    #: Per-txn state mutations: AugAssign, ``.append/.add/.propose``.
+    mutation_sites: List[Tuple[str, int, str]] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition in the scanned tree."""
+
+    name: str
+    path: str
+    line: int
+    protocol: str
+    #: The class contains ``set_timer`` calls or references a retry
+    #: policy — i.e. it can drive retransmission.
+    has_retry_machinery: bool = False
+
+
+@dataclass(frozen=True)
+class FsmAssign:
+    """``<expr>.attr = <state>`` where the state resolved to a string."""
+
+    attr: str
+    value: str
+    #: Equality guards on the same attribute active at the assignment
+    #: (``if x.attr == STATE: x.attr = OTHER`` -> guards=("STATE",)).
+    guards: Tuple[str, ...]
+    cls: Optional[str]
+    func: Optional[str]
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class FsmCompare:
+    """``<expr>.attr ==/!= <state>`` with a resolved state string."""
+
+    attr: str
+    value: str
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class FsmDefault:
+    """Class-level ``attr: str = STATE`` default (the initial state)."""
+
+    attr: str
+    value: str
+    cls: str
+    path: str
+    line: int
+
+
+@dataclass
+class MessageGraph:
+    """The extracted message graph over a set of sources."""
+
+    sources: Dict[str, str] = field(default_factory=dict)
+    #: ``Message`` subclasses, by class name.
+    messages: Dict[str, MessageDef] = field(default_factory=dict)
+    #: Every dataclass (including messages), by class name.
+    dataclasses: Dict[str, MessageDef] = field(default_factory=dict)
+    sends: List[SendSite] = field(default_factory=list)
+    constructs: List[ConstructSite] = field(default_factory=list)
+    branches: List[HandlerBranch] = field(default_factory=list)
+    functions: Dict[Tuple[str, str], FuncInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    fsm_assigns: List[FsmAssign] = field(default_factory=list)
+    fsm_compares: List[FsmCompare] = field(default_factory=list)
+    fsm_defaults: List[FsmDefault] = field(default_factory=list)
+
+    # -- queries --------------------------------------------------------
+    def sends_of(self, msg_type: str) -> List[SendSite]:
+        """All send sites for one message type."""
+        return [s for s in self.sends if s.msg_type == msg_type]
+
+    def constructs_of(self, msg_type: str) -> List[ConstructSite]:
+        """All construction sites for one message type."""
+        return [c for c in self.constructs if c.msg_type == msg_type]
+
+    def branches_of(self, msg_type: str) -> List[HandlerBranch]:
+        """All dispatch branches for one message type."""
+        return [b for b in self.branches if b.msg_type == msg_type]
+
+    def sender_classes(self, msg_type: str) -> List[str]:
+        """Classes that send a message type, sorted."""
+        return sorted({s.cls for s in self.sends_of(msg_type)
+                       if s.cls is not None})
+
+    def handler_classes(self, msg_type: str) -> List[str]:
+        """Classes with a dispatch branch for a message type, sorted."""
+        return sorted({b.cls for b in self.branches_of(msg_type)
+                       if b.cls is not None})
+
+    def protocols(self) -> List[str]:
+        """Protocols that define at least one message, sorted."""
+        found = {d.protocol for d in self.messages.values()}
+        return sorted(found)
+
+    def reachable(self, protocol: str, msg_type: str,
+                  seeds: Sequence[str]) -> "Reachability":
+        """Close over the protocol's call graph from ``seeds``.
+
+        When the worklist reaches a *dispatch* function that has branches
+        for ``msg_type``, it follows only those branches' targets — so a
+        ``handle_app_message -> dispatch_partition_message -> on_writeback``
+        chain stays specific to the message instead of pulling in every
+        branch of the dispatcher.
+        """
+        visited: Set[str] = set()
+        sends: Set[str] = set()
+        guards: List[Tuple[str, int]] = []
+        mutations: List[Tuple[str, int, str]] = []
+        work = list(seeds)
+        while work:
+            name = work.pop()
+            if name in visited:
+                continue
+            visited.add(name)
+            if name in DISPATCH_FUNCTIONS:
+                specific = [b for b in self.branches
+                            if b.func == name and b.msg_type == msg_type
+                            and protocol_of(b.path) == protocol]
+                if specific:
+                    for branch in specific:
+                        work.extend(branch.targets)
+                    continue
+            info = self.functions.get((protocol, name))
+            if info is None:
+                continue
+            sends |= info.sends
+            guards.extend(info.guard_sites)
+            mutations.extend(info.mutation_sites)
+            work.extend(info.calls)
+        return Reachability(visited=frozenset(visited),
+                            sends=frozenset(sends),
+                            guards=guards, mutations=mutations)
+
+
+@dataclass
+class Reachability:
+    """Result of a call-graph closure from a set of handler entry points."""
+
+    visited: FrozenSet[str]
+    sends: FrozenSet[str]
+    guards: List[Tuple[str, int]]
+    mutations: List[Tuple[str, int, str]]
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _is_message_base(node: ast.ClassDef) -> bool:
+    return any(isinstance(base, ast.Name) and base.id == "Message"
+               for base in node.bases)
+
+
+def _class_fields(node: ast.ClassDef) -> Tuple[FieldDef, ...]:
+    fields: List[FieldDef] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name):
+            fields.append(FieldDef(name=stmt.target.id,
+                                   has_default=stmt.value is not None))
+    return tuple(fields)
+
+
+class _ModuleConstants:
+    """String and name-tuple constants of one module (incl. class-level)."""
+
+    def __init__(self) -> None:
+        self.strings: Dict[str, str] = {}
+        self.tuples: Dict[str, Tuple[str, ...]] = {}
+
+    def collect(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, ast.Constant) and \
+                    isinstance(value.value, str):
+                self.strings[target.id] = value.value
+            elif isinstance(value, ast.Tuple) and value.elts and all(
+                    isinstance(e, ast.Name) for e in value.elts):
+                self.tuples[target.id] = tuple(e.id for e in value.elts)
+
+    def resolve_string(self, expr: ast.AST) -> Optional[str]:
+        """A string literal or a Name bound to a module string constant."""
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            return self.strings.get(expr.id)
+        return None
+
+    def resolve_types(self, expr: ast.AST) -> List[str]:
+        """Type names named by an ``isinstance`` second argument."""
+        if isinstance(expr, ast.Name):
+            if expr.id in self.tuples:
+                return list(self.tuples[expr.id])
+            return [expr.id]
+        if isinstance(expr, ast.Attribute):
+            # e.g. ``self.RAFT_TYPES`` resolving a class-level constant.
+            return list(self.tuples.get(expr.attr, ()))
+        if isinstance(expr, ast.Tuple):
+            names: List[str] = []
+            for elt in expr.elts:
+                names.extend(self.resolve_types(elt))
+            return names
+        return []
+
+
+def _is_guard_compare(node: ast.Compare) -> bool:
+    """Membership tests and ``.get(...)`` comparisons deduplicate
+    retransmitted messages."""
+    if any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+        return True
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute) \
+                and sub.func.attr == "get":
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Extraction visitor
+# ---------------------------------------------------------------------------
+
+class _Extractor(ast.NodeVisitor):
+    """Second-pass visitor for one module."""
+
+    def __init__(self, path: str, graph: MessageGraph,
+                 consts: _ModuleConstants):
+        self.path = path
+        self.protocol = protocol_of(path)
+        self.graph = graph
+        self.consts = consts
+        self._class_stack: List[str] = []
+        self._func_stack: List[str] = []
+        #: Guard facts in force: (attr, state) from enclosing ifs.
+        self._if_facts: List[Tuple[str, str]] = []
+        #: Constructor Call node ids that are direct send arguments.
+        self._sent_ctor_nodes: Set[int] = set()
+        #: Per-outer-function: variable name -> its ConstructSite.
+        self._var_sites: Dict[str, ConstructSite] = {}
+
+    # -- context helpers ------------------------------------------------
+    @property
+    def _cls(self) -> Optional[str]:
+        return self._class_stack[-1] if self._class_stack else None
+
+    @property
+    def _outer_func(self) -> Optional[str]:
+        return self._func_stack[0] if self._func_stack else None
+
+    def _func_info(self) -> Optional[FuncInfo]:
+        name = self._outer_func
+        if name is None:
+            return None
+        key = (self.protocol, name)
+        info = self.graph.functions.get(key)
+        if info is None:
+            info = FuncInfo(name=name, protocol=self.protocol)
+            self.graph.functions[key] = info
+        return info
+
+    def _mark_retry_machinery(self) -> None:
+        cls = self._cls
+        if cls is not None and cls in self.graph.classes:
+            self.graph.classes[cls].has_retry_machinery = True
+
+    # -- classes --------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.graph.classes.setdefault(node.name, ClassInfo(
+            name=node.name, path=self.path, line=node.lineno,
+            protocol=self.protocol))
+        # Class-level string defaults feed the FSM initial-state check.
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name) and \
+                    stmt.value is not None:
+                value = self.consts.resolve_string(stmt.value)
+                if value is not None:
+                    self.graph.fsm_defaults.append(FsmDefault(
+                        attr=stmt.target.id, value=value, cls=node.name,
+                        path=self.path, line=stmt.lineno))
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    # -- functions ------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node) -> None:
+        outermost = not self._func_stack
+        self._func_stack.append(node.name)
+        if outermost:
+            self._var_sites = {}
+            self._func_info()  # ensure the unit exists even if empty
+            if node.name in DISPATCH_FUNCTIONS:
+                self._extract_branches(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def _extract_branches(self, fn) -> None:
+        for sub in ast.walk(fn):
+            if not isinstance(sub, ast.If):
+                continue
+            test = sub.test
+            if not (isinstance(test, ast.Call)
+                    and isinstance(test.func, ast.Name)
+                    and test.func.id == "isinstance"
+                    and len(test.args) == 2):
+                continue
+            names = [n for n in self.consts.resolve_types(test.args[1])
+                     if n in self.graph.messages]
+            if not names:
+                continue
+            targets: List[str] = []
+            for stmt in sub.body:
+                for call in ast.walk(stmt):
+                    if isinstance(call, ast.Call):
+                        name = _call_name(call)
+                        if name is not None and name != "isinstance" and \
+                                name not in targets:
+                            targets.append(name)
+            for msg_type in names:
+                self.graph.branches.append(HandlerBranch(
+                    msg_type=msg_type, path=self.path, line=test.lineno,
+                    cls=self._cls, func=fn.name, targets=tuple(targets)))
+
+    # -- calls: sends, constructs, guards, mutations --------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        info = self._func_info()
+
+        if name is not None and info is not None:
+            info.calls.add(name)
+
+        if name == "set_timer":
+            self._mark_retry_machinery()
+        if name == "setdefault" and info is not None:
+            info.guard_sites.append((self.path, node.lineno))
+        if name in MUTATION_CALLS and \
+                isinstance(node.func, ast.Attribute) and info is not None:
+            info.mutation_sites.append((self.path, node.lineno, name))
+
+        if name in SEND_NAMES and len(node.args) >= 2:
+            self._record_send(node)
+
+        if name is not None and name in self.graph.dataclasses:
+            self._record_construct(name, node)
+
+        self.generic_visit(node)
+
+    def _record_send(self, node: ast.Call) -> None:
+        payload = node.args[1]
+        msg_type: Optional[str] = None
+        if isinstance(payload, ast.Call):
+            ctor = _call_name(payload)
+            if ctor in self.graph.messages:
+                msg_type = ctor
+                self._sent_ctor_nodes.add(id(payload))
+        elif isinstance(payload, ast.Name):
+            site = self._var_sites.get(payload.id)
+            if site is not None:
+                msg_type = site.msg_type
+                site.sent = True
+        if msg_type is None:
+            return
+        self.graph.sends.append(SendSite(
+            msg_type=msg_type, path=self.path, line=node.lineno,
+            col=node.col_offset + 1, cls=self._cls,
+            func=self._outer_func))
+        info = self._func_info()
+        if info is not None:
+            info.sends.add(msg_type)
+
+    def _record_construct(self, name: str, node: ast.Call) -> None:
+        has_star = any(isinstance(a, ast.Starred) for a in node.args) or \
+            any(kw.arg is None for kw in node.keywords)
+        site = ConstructSite(
+            msg_type=name, path=self.path, line=node.lineno,
+            col=node.col_offset + 1, cls=self._cls,
+            func=self._outer_func,
+            kwargs=tuple(kw.arg for kw in node.keywords
+                         if kw.arg is not None),
+            n_pos=sum(1 for a in node.args
+                      if not isinstance(a, ast.Starred)),
+            has_star=has_star,
+            sent=id(node) in self._sent_ctor_nodes)
+        self.graph.constructs.append(site)
+        self._last_construct = site
+
+    # -- attributes: retry-policy references ----------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "retry_policy":
+            self._mark_retry_machinery()
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id == "RetryPolicy":
+            self._mark_retry_machinery()
+        self.generic_visit(node)
+
+    # -- assignments: message variables and FSM state -------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and \
+                    isinstance(node.value, ast.Call):
+                ctor = _call_name(node.value)
+                if ctor in self.graph.messages:
+                    # Visit the value first so its ConstructSite exists.
+                    self.generic_visit(node)
+                    if self.graph.constructs and \
+                            self.graph.constructs[-1].msg_type == ctor:
+                        self._var_sites[target.id] = \
+                            self.graph.constructs[-1]
+                    return
+            if isinstance(target, ast.Attribute):
+                value = self.consts.resolve_string(node.value)
+                if value is not None:
+                    guards = tuple(state for attr, state in self._if_facts
+                                   if attr == target.attr)
+                    self.graph.fsm_assigns.append(FsmAssign(
+                        attr=target.attr, value=value, guards=guards,
+                        cls=self._cls, func=self._outer_func,
+                        path=self.path, line=node.lineno))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        info = self._func_info()
+        if info is not None:
+            info.mutation_sites.append(
+                (self.path, node.lineno, "augassign"))
+        self.generic_visit(node)
+
+    # -- comparisons: guards and FSM -------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        info = self._func_info()
+        if info is not None and _is_guard_compare(node):
+            info.guard_sites.append((self.path, node.lineno))
+        fact = self._fsm_fact(node)
+        if fact is not None:
+            self.graph.fsm_compares.append(FsmCompare(
+                attr=fact[0], value=fact[1], path=self.path,
+                line=node.lineno))
+        self.generic_visit(node)
+
+    def _fsm_fact(self, node: ast.Compare) -> Optional[Tuple[str, str]]:
+        """``<expr>.attr ==/!= <resolvable state>`` -> (attr, state)."""
+        if len(node.ops) != 1 or \
+                not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            return None
+        left, right = node.left, node.comparators[0]
+        if isinstance(right, ast.Attribute) and \
+                not isinstance(left, ast.Attribute):
+            left, right = right, left
+        if not isinstance(left, ast.Attribute):
+            return None
+        value = self.consts.resolve_string(right)
+        if value is None:
+            return None
+        return (left.attr, value)
+
+    # -- if: track equality guards for FSM transitions -------------------
+    def visit_If(self, node: ast.If) -> None:
+        fact: Optional[Tuple[str, str]] = None
+        if isinstance(node.test, ast.Compare) and len(node.test.ops) == 1 \
+                and isinstance(node.test.ops[0], ast.Eq):
+            fact = self._fsm_fact(node.test)
+        self.visit(node.test)
+        if fact is not None:
+            self._if_facts.append(fact)
+        for stmt in node.body:
+            self.visit(stmt)
+        if fact is not None:
+            self._if_facts.pop()
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+
+# ---------------------------------------------------------------------------
+# Build API
+# ---------------------------------------------------------------------------
+
+def collect_sources(paths: Sequence[str]) -> Dict[str, str]:
+    """Read ``*.py`` sources from files and/or directory trees."""
+    sources: Dict[str, str] = {}
+    for entry in paths:
+        target = Path(entry)
+        if target.is_dir():
+            files = sorted(target.rglob("*.py"))
+        else:
+            files = [target]
+        for file in files:
+            sources[str(file)] = file.read_text(encoding="utf-8")
+    return sources
+
+
+def build_graph(sources: Dict[str, str]) -> MessageGraph:
+    """Extract the message graph from ``{path: source}`` texts."""
+    graph = MessageGraph(sources=dict(sources))
+    trees: Dict[str, ast.Module] = {}
+    consts: Dict[str, _ModuleConstants] = {}
+
+    # Pass 1: message/dataclass definitions and module constants, from
+    # every file, so pass 2 can resolve cross-module references by name.
+    for path in sorted(sources):
+        tree = ast.parse(sources[path], filename=path)
+        trees[path] = tree
+        module_consts = _ModuleConstants()
+        module_consts.collect(tree)
+        consts[path] = module_consts
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_dataclass_decorated(node):
+                continue
+            definition = MessageDef(
+                name=node.name, path=path, line=node.lineno,
+                protocol=protocol_of(path),
+                fields=_class_fields(node),
+                is_message=_is_message_base(node))
+            graph.dataclasses[node.name] = definition
+            if definition.is_message:
+                graph.messages[node.name] = definition
+
+    # Pass 2: sends, constructs, branches, functions, classes, FSM raw
+    # material.
+    for path in sorted(sources):
+        _Extractor(path, graph, consts[path]).visit(trees[path])
+    return graph
+
+
+def build_graph_from_paths(paths: Sequence[str]) -> MessageGraph:
+    """Convenience: :func:`collect_sources` + :func:`build_graph`."""
+    return build_graph(collect_sources(paths))

@@ -9,6 +9,7 @@ Usage::
     python -m repro trace --system basic # full span/WANRT trace
 
     python -m repro lint src/            # determinism linter (detlint)
+    python -m repro protolint            # protocol-conformance analyzer
     python -m repro divergence --system basic   # dual-run hash-seed check
     python -m repro chaos --system carousel-fast --seeds 0..9  # nemesis
     python -m repro perf run --quick     # benchmark suites -> BENCH_*.json
@@ -237,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the Carousel paper's tables and figures.",
         epilog="additional verbs: trace (span/WANRT traces), "
                "lint (determinism linter), "
+               "protolint (protocol-conformance analyzer), "
                "divergence (dual-run hash-seed check), "
                "chaos (nemesis harness), "
                "perf (benchmarks and regression tracking) — "
@@ -273,8 +275,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] in ("lint", "divergence"):
-        # Determinism-sanitizer subcommands live in repro.analysis.
+    if argv and argv[0] in ("lint", "protolint", "divergence"):
+        # Static-analyzer subcommands live in repro.analysis.
         from repro.analysis.cli import main as analysis_main
         return analysis_main(argv)
     if argv and argv[0] == "chaos":

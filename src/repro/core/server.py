@@ -119,7 +119,14 @@ class CarouselServer(RaftHost):
         """Route a non-Raft message to the partition or coordinator role."""
         if isinstance(msg, _PARTITION_MESSAGES):
             self.dispatch_partition_message(msg)
-        elif isinstance(msg, CoordPrepareRequest):
+        elif isinstance(msg, _COORDINATOR_MESSAGES):
+            self.dispatch_coordinator_message(msg)
+        else:  # pragma: no cover - routing bug
+            raise TypeError(f"unexpected message {msg!r}")
+
+    def dispatch_coordinator_message(self, msg: Message) -> None:
+        """Deliver a coordinator-addressed message to the coordinator."""
+        if isinstance(msg, CoordPrepareRequest):
             self.coordinator.on_coord_prepare(msg)
         elif isinstance(msg, CommitRequest):
             self.coordinator.on_commit_request(msg)
@@ -131,8 +138,6 @@ class CarouselServer(RaftHost):
             self.coordinator.on_heartbeat(msg)
         elif isinstance(msg, WritebackAck):
             self.coordinator.on_writeback_ack(msg)
-        else:  # pragma: no cover - routing bug
-            raise TypeError(f"unexpected message {msg!r}")
 
     def dispatch_partition_message(self, msg: Message) -> None:
         """Deliver a partition-addressed message to its component."""

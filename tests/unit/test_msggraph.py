@@ -1,0 +1,311 @@
+"""Message-graph extraction tests: defs, sends, branches, closures, FSM.
+
+Each fixture is a minimal module (or pair of modules) exercising one
+extraction path; paths carry a ``core/`` fragment so the fixtures land in
+the ``carousel`` protocol.  The tree-level tests at the bottom pin the
+extracted inventory of the real protocol packages.
+"""
+
+import textwrap
+
+from repro.analysis.msggraph import (build_graph, build_graph_from_paths,
+                                     collect_sources, protocol_of)
+from repro.analysis.protolint import default_paths
+
+MESSAGES = textwrap.dedent("""
+    from dataclasses import dataclass
+
+    @dataclass
+    class Ping(Message):
+        tid: int = 0
+        payload: str = ""
+
+    @dataclass
+    class Pong(Message):
+        tid: int = 0
+
+    @dataclass
+    class Record:
+        tid: int
+        decision: str
+        writes: tuple = ()
+""")
+
+
+def graph_of(**modules):
+    """Build a graph from ``{basename: source}`` fixture modules."""
+    sources = {f"fx/core/{name}.py": textwrap.dedent(text)
+               for name, text in modules.items()}
+    return build_graph(sources)
+
+
+def test_protocol_of_path_fragments():
+    assert protocol_of("src/repro/core/server.py") == "carousel"
+    assert protocol_of("src/repro/layered/client.py") == "layered"
+    assert protocol_of("src/repro/tapir/replica.py") == "tapir"
+    assert protocol_of("src/repro/raft/node.py") == "raft"
+    assert protocol_of("src/repro/sim/kernel.py") == "misc"
+
+
+def test_message_and_dataclass_defs():
+    g = graph_of(messages=MESSAGES)
+    assert set(g.messages) == {"Ping", "Pong"}
+    assert set(g.dataclasses) == {"Ping", "Pong", "Record"}
+    ping = g.messages["Ping"]
+    assert ping.protocol == "carousel"
+    assert [f.name for f in ping.fields] == ["tid", "payload"]
+    assert all(f.has_default for f in ping.fields)
+    record = g.dataclasses["Record"]
+    assert not record.is_message
+    assert record.required_fields() == ("tid", "decision")
+
+
+def test_direct_send_site():
+    g = graph_of(messages=MESSAGES, node="""
+        class Client:
+            def go(self, dst):
+                self.send(dst, Ping(tid=1))
+    """)
+    (site,) = g.sends_of("Ping")
+    assert site.cls == "Client"
+    assert site.func == "go"
+    (ctor,) = g.constructs_of("Ping")
+    assert ctor.sent
+
+
+def test_variable_bound_send_marks_construct_sent():
+    g = graph_of(messages=MESSAGES, node="""
+        class Client:
+            def go(self, dst):
+                msg = Ping(tid=1)
+                self.send(dst, msg)
+
+            def build_only(self):
+                local = Pong(tid=2)
+                return local
+    """)
+    (ping,) = g.constructs_of("Ping")
+    assert ping.sent
+    (pong,) = g.constructs_of("Pong")
+    assert not pong.sent
+    assert [s.msg_type for s in g.sends] == ["Ping"]
+
+
+def test_branch_extraction_name_tuple_and_constants():
+    g = graph_of(messages=MESSAGES, node="""
+        _GROUP = (Ping, Pong)
+
+        class Host:
+            TYPES = (Ping,)
+
+            def handle_message(self, msg):
+                if isinstance(msg, _GROUP):
+                    self.route(msg)
+
+            def handle_app_message(self, msg):
+                if isinstance(msg, Ping):
+                    self.on_ping(msg)
+                elif isinstance(msg, (Pong,)):
+                    self.on_pong(msg)
+
+            def handle(self, msg):
+                if isinstance(msg, self.TYPES):
+                    self.on_self_const(msg)
+    """)
+    by_func = {}
+    for b in g.branches:
+        by_func.setdefault(b.func, []).append(b)
+    assert sorted(b.msg_type for b in by_func["handle_message"]) == \
+        ["Ping", "Pong"]
+    assert {b.msg_type: b.targets for b in by_func["handle_app_message"]} \
+        == {"Ping": ("on_ping",), "Pong": ("on_pong",)}
+    assert [b.msg_type for b in by_func["handle"]] == ["Ping"]
+    assert all(b.cls == "Host" for b in g.branches)
+
+
+def test_unknown_types_in_isinstance_are_ignored():
+    g = graph_of(messages=MESSAGES, node="""
+        class Host:
+            def handle_message(self, msg):
+                if isinstance(msg, SomethingElse):
+                    self.on_other(msg)
+                elif isinstance(msg, str):
+                    self.on_str(msg)
+    """)
+    assert g.branches == []
+
+
+def test_sends_in_nested_defs_attach_to_outer_function():
+    g = graph_of(messages=MESSAGES, node="""
+        class Server:
+            def on_request(self, msg):
+                def replicated(_):
+                    self.send(msg.src, Pong(tid=msg.tid))
+                self.propose(replicated)
+                self.other(lambda: self.send(msg.src, Ping()))
+    """)
+    info = g.functions[("carousel", "on_request")]
+    assert info.sends == {"Pong", "Ping"}
+    assert "propose" in info.calls
+
+
+def test_guards_and_mutations_collected():
+    g = graph_of(messages=MESSAGES, node="""
+        class Server:
+            def guarded(self, msg):
+                if msg.tid in self.finished:
+                    return
+                self.pending.setdefault(msg.tid, [])
+                if self.inflight.get(msg.tid) == self.term:
+                    return
+
+            def mutating(self, msg):
+                self.log.append(msg)
+                self.seen.add(msg.tid)
+                self.counter += 1
+    """)
+    guarded = g.functions[("carousel", "guarded")]
+    assert len(guarded.guard_sites) >= 3
+    mutating = g.functions[("carousel", "mutating")]
+    kinds = sorted(k for _, _, k in mutating.mutation_sites)
+    assert kinds == ["add", "append", "augassign"]
+
+
+def test_retry_machinery_detection():
+    g = graph_of(messages=MESSAGES, node="""
+        class WithTimer:
+            def arm(self):
+                self.set_timer(10.0, self.fire)
+
+        class WithPolicy:
+            def delay(self):
+                return self.config.retry_policy.delay_ms(1)
+
+        class Bare:
+            def nothing(self):
+                return 1
+    """)
+    assert g.classes["WithTimer"].has_retry_machinery
+    assert g.classes["WithPolicy"].has_retry_machinery
+    assert not g.classes["Bare"].has_retry_machinery
+
+
+def test_construct_site_kwargs_positional_and_star():
+    g = graph_of(messages=MESSAGES, node="""
+        def build(extra):
+            a = Record(1, "commit")
+            b = Record(tid=2, decision="abort", writes=())
+            c = Record(**extra)
+            return a, b, c
+    """)
+    sites = g.constructs_of("Record")
+    assert [s.n_pos for s in sites] == [2, 0, 0]
+    assert sites[1].kwargs == ("tid", "decision", "writes")
+    assert [s.has_star for s in sites] == [False, False, True]
+
+
+def test_fsm_assign_compare_default_extraction():
+    g = graph_of(node="""
+        IDLE = "idle"
+        BUSY = "busy"
+
+        class Worker:
+            phase: str = IDLE
+
+            def start(self):
+                if self.phase == IDLE:
+                    self.phase = BUSY
+
+            def check(self):
+                return self.phase != BUSY
+    """)
+    (assign,) = [a for a in g.fsm_assigns if a.attr == "phase"]
+    assert assign.value == "busy"
+    assert assign.guards == ("idle",)
+    values = sorted(c.value for c in g.fsm_compares if c.attr == "phase")
+    assert values == ["busy", "idle"]
+    (default,) = [d for d in g.fsm_defaults if d.attr == "phase"]
+    assert default.value == "idle"
+    assert default.cls == "Worker"
+
+
+def test_guard_does_not_leak_into_else_branch():
+    g = graph_of(node="""
+        A = "a"
+        B = "b"
+        C = "c"
+
+        class Worker:
+            def step(self):
+                if self.phase == A:
+                    self.phase = B
+                else:
+                    self.phase = C
+    """)
+    by_value = {a.value: a.guards for a in g.fsm_assigns}
+    assert by_value == {"b": ("a",), "c": ()}
+
+
+def test_reachable_redirects_through_dispatcher():
+    g = graph_of(messages=MESSAGES, node="""
+        _ALL = (Ping, Pong)
+
+        class Host:
+            def handle_app_message(self, msg):
+                if isinstance(msg, _ALL):
+                    self.dispatch_partition_message(msg)
+
+            def dispatch_partition_message(self, msg):
+                if isinstance(msg, Ping):
+                    self.on_ping(msg)
+                elif isinstance(msg, Pong):
+                    self.on_pong(msg)
+
+            def on_ping(self, msg):
+                self.send(msg.src, Pong(tid=msg.tid))
+
+            def on_pong(self, msg):
+                self.done.add(msg.tid)
+    """)
+    reach = g.reachable("carousel", "Ping",
+                        ["dispatch_partition_message"])
+    assert reach.sends == {"Pong"}
+    assert "on_pong" not in reach.visited
+    reach_pong = g.reachable("carousel", "Pong",
+                             ["dispatch_partition_message"])
+    assert reach_pong.sends == frozenset()
+    assert reach_pong.mutations
+
+
+def test_collect_sources_walks_directories(tmp_path):
+    pkg = tmp_path / "core"
+    pkg.mkdir()
+    (pkg / "a.py").write_text("X = 1\n")
+    (pkg / "b.py").write_text("Y = 2\n")
+    (tmp_path / "single.py").write_text("Z = 3\n")
+    sources = collect_sources([str(pkg), str(tmp_path / "single.py")])
+    assert sorted(p.split("/")[-1] for p in sources) == \
+        ["a.py", "b.py", "single.py"]
+
+
+# ----------------------------------------------------------------------
+# Tree-level inventory pins
+# ----------------------------------------------------------------------
+def test_tree_graph_inventory():
+    g = build_graph_from_paths(default_paths())
+    assert len(g.messages) == 33
+    assert g.protocols() == ["carousel", "layered", "raft", "tapir"]
+    # Every message type is dispatched somewhere and sent somewhere.
+    for name in g.messages:
+        assert g.branches_of(name), f"{name} has no dispatch branch"
+        assert g.sends_of(name), f"{name} is never sent"
+
+
+def test_tree_raft_host_tuple_dispatch():
+    g = build_graph_from_paths(default_paths())
+    hosts = [b for b in g.branches_of("AppendEntries")
+             if b.cls == "RaftHost"]
+    assert hosts and all(b.func == "handle_message" for b in hosts)
+    members = [b for b in g.branches_of("AppendEntries")
+               if b.cls == "RaftMember"]
+    assert members and members[0].targets == ("_on_append_entries",)

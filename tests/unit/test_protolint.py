@@ -1,0 +1,545 @@
+"""protolint rule tests: every rule PL001-PL008 fires on a fixture, the
+real tree is clean, and the planted-bug self-checks detect the plants.
+
+Fixtures are minimal protocol modules under a ``core/`` path (so they
+land in the ``carousel`` protocol) checked against purpose-built
+contracts; the tree-level tests run the shipped contracts against the
+real protocol packages.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.fsm import FSMSpec
+from repro.analysis.msggraph import build_graph
+from repro.analysis.protolint import (CATALOG_BEGIN, CATALOG_END,
+                                      MessageContract, PROTOCOLS,
+                                      apply_plant, default_paths,
+                                      embed_catalog, extract_doc_catalog,
+                                      lint_paths, lint_sources,
+                                      render_catalog)
+
+MESSAGES = textwrap.dedent("""
+    from dataclasses import dataclass
+
+    @dataclass
+    class Req(Message):
+        tid: int = 0
+
+    @dataclass
+    class Rep(Message):
+        tid: int = 0
+""")
+
+#: A complete, conformant fixture protocol: Client sends Req (with a
+#: retry timer), Server handles it behind a dedup guard and replies Rep,
+#: Client handles Rep.
+CLEAN_NODE = textwrap.dedent("""
+    class Server:
+        def handle_app_message(self, msg):
+            if isinstance(msg, Req):
+                self.on_req(msg)
+
+        def on_req(self, msg):
+            if msg.tid in self.seen:
+                return
+            self.seen.add(msg.tid)
+            self.send(msg.src, Rep(tid=msg.tid))
+
+    class Client:
+        def handle_message(self, msg):
+            if isinstance(msg, Rep):
+                self.on_rep(msg)
+
+        def on_rep(self, msg):
+            self.done[msg.tid] = msg
+
+        def go(self, dst):
+            self.send(dst, Req(tid=1))
+            self.set_timer(10.0, self.go)
+""")
+
+CONTRACT = {"carousel": {
+    "Req": MessageContract(("Server",), replies=("Rep",),
+                           retried=True, dedup=True),
+    "Rep": MessageContract(("Client",)),
+}}
+
+#: FSM specs that never match fixture paths, so fixture tests exercise
+#: exactly the rule under test.
+NO_SPECS = ()
+
+
+def run(contracts=CONTRACT, specs=NO_SPECS, **modules):
+    """Lint fixture modules, return sorted (code, path:line) pairs."""
+    sources = {f"fx/core/{name}.py": textwrap.dedent(text)
+               for name, text in modules.items()}
+    findings = lint_sources(sources, contracts=contracts, specs=specs)
+    return sorted((f.rule.code, f.message) for f in findings)
+
+
+def codes(contracts=CONTRACT, specs=NO_SPECS, **modules):
+    return sorted(code for code, _ in
+                  run(contracts=contracts, specs=specs, **modules))
+
+
+def test_clean_fixture_protocol_has_no_findings():
+    assert run(messages=MESSAGES, node=CLEAN_NODE) == []
+
+
+# ----------------------------------------------------------------------
+# PL001 dead-letter
+# ----------------------------------------------------------------------
+def test_pl001_receiver_without_branch():
+    node = CLEAN_NODE.replace(
+        "        if isinstance(msg, Req):\n"
+        "            self.on_req(msg)\n",
+        "        pass\n")
+    found = run(messages=MESSAGES, node=node)
+    assert any(code == "PL001" and "Server has no dispatch branch" in msg
+               for code, msg in found)
+
+
+def test_pl001_message_missing_from_contract():
+    contracts = {"carousel": {"Req": CONTRACT["carousel"]["Req"]}}
+    found = run(contracts=contracts, messages=MESSAGES, node=CLEAN_NODE)
+    assert any(code == "PL001" and
+               "Rep is not declared in the carousel contract" in msg
+               for code, msg in found)
+
+
+def test_pl001_contract_entry_without_message():
+    contracts = {"carousel": dict(CONTRACT["carousel"],
+                                  Ghost=MessageContract(("Server",)))}
+    found = run(contracts=contracts, messages=MESSAGES, node=CLEAN_NODE)
+    assert any(code == "PL001" and "Ghost" in msg for code, msg in found)
+
+
+def test_pl001_tuple_dispatch_with_dropped_inner_branch():
+    """The outer tuple branch still matches, but the inner dispatcher
+    lost its branch — protolint must follow the redirect."""
+    node = textwrap.dedent("""
+        _ALL = (Req, Rep)
+
+        class Server:
+            def handle_app_message(self, msg):
+                if isinstance(msg, _ALL):
+                    self.dispatch_partition_message(msg)
+
+            def dispatch_partition_message(self, msg):
+                if isinstance(msg, Rep):
+                    self.on_rep(msg)
+
+            def on_rep(self, msg):
+                self.done.add(msg.tid)
+    """)
+    contracts = {"carousel": {
+        "Req": MessageContract(("Server",)),
+        "Rep": MessageContract(("Server",)),
+    }}
+    found = run(contracts=contracts, messages=MESSAGES, node=node)
+    assert any(code == "PL001" and msg.startswith("Req is declared")
+               for code, msg in found)
+    assert not any("Rep is declared" in msg for code, msg in found
+                   if code == "PL001")
+
+
+# ----------------------------------------------------------------------
+# PL002 dead-handler
+# ----------------------------------------------------------------------
+def test_pl002_branch_in_non_receiver_class():
+    node = CLEAN_NODE + textwrap.dedent("""
+        class Bystander:
+            def handle_message(self, msg):
+                if isinstance(msg, Rep):
+                    self.on_rep(msg)
+
+            def on_rep(self, msg):
+                self.x = msg
+    """)
+    found = run(messages=MESSAGES, node=node)
+    assert any(code == "PL002" and "Bystander" in msg
+               for code, msg in found)
+
+
+def test_pl002_branch_for_never_sent_type():
+    node = CLEAN_NODE.replace("        self.send(dst, Req(tid=1))\n",
+                              "")
+    found = run(messages=MESSAGES, node=node)
+    assert any(code == "PL002" and "never sent anywhere" in msg
+               for code, msg in found)
+
+
+# ----------------------------------------------------------------------
+# PL003 never-sent
+# ----------------------------------------------------------------------
+def test_pl003_constructed_but_never_sent():
+    node = CLEAN_NODE.replace(
+        "        self.send(dst, Req(tid=1))\n",
+        "        queued = Req(tid=1)\n"
+        "        self.backlog.append(queued)\n")
+    found = run(messages=MESSAGES, node=node)
+    assert any(code == "PL003" and "constructed but never sent" in msg
+               for code, msg in found)
+
+
+def test_pl003_never_constructed():
+    node = CLEAN_NODE.replace("        self.send(dst, Req(tid=1))\n",
+                              "")
+    found = run(messages=MESSAGES, node=node)
+    assert any(code == "PL003" and "never constructed" in msg
+               for code, msg in found)
+
+
+# ----------------------------------------------------------------------
+# PL004 missing-reply
+# ----------------------------------------------------------------------
+def test_pl004_handler_path_without_reply():
+    node = CLEAN_NODE.replace(
+        "        self.send(msg.src, Rep(tid=msg.tid))\n",
+        "        self.log.append(msg)\n")
+    # Keep Rep constructible/sendable elsewhere so only PL004 fires.
+    node += textwrap.dedent("""
+        class Other:
+            def poke(self, dst):
+                self.send(dst, Rep(tid=9))
+                self.set_timer(1.0, self.poke)
+    """)
+    found = run(messages=MESSAGES, node=node)
+    assert any(code == "PL004" and "Req" in msg for code, msg in found)
+
+
+def test_pl004_reply_through_helper_closure_is_clean():
+    node = CLEAN_NODE.replace(
+        "        self.send(msg.src, Rep(tid=msg.tid))\n",
+        "        self.finish(msg)\n") + textwrap.dedent("""
+        class ServerHelpers:
+            def finish(self, msg):
+                def replicated(_):
+                    self.send(msg.src, Rep(tid=msg.tid))
+                self.propose(replicated)
+    """)
+    assert run(messages=MESSAGES, node=node) == []
+
+
+# ----------------------------------------------------------------------
+# PL005 no-retry-coverage
+# ----------------------------------------------------------------------
+def test_pl005_retried_sender_without_timer():
+    node = CLEAN_NODE.replace(
+        "        self.set_timer(10.0, self.go)\n", "")
+    found = run(messages=MESSAGES, node=node)
+    assert found == [("PL005",
+                      "Req is declared retried, but Client sends it with "
+                      "no timer/RetryPolicy machinery in the class")]
+
+
+def test_pl005_retry_policy_reference_counts_as_cover():
+    node = CLEAN_NODE.replace(
+        "        self.set_timer(10.0, self.go)\n",
+        "        self.config.retry_policy.delay_ms(0)\n")
+    assert run(messages=MESSAGES, node=node) == []
+
+
+# ----------------------------------------------------------------------
+# PL006 handler-mutation
+# ----------------------------------------------------------------------
+def test_pl006_unguarded_mutation_in_dedup_handler():
+    node = CLEAN_NODE.replace(
+        "        if msg.tid in self.seen:\n"
+        "            return\n", "")
+    found = run(messages=MESSAGES, node=node)
+    assert any(code == "PL006" and "duplicate-delivery guard" in msg
+               for code, msg in found)
+
+
+def test_pl006_guard_anywhere_on_path_is_clean():
+    assert run(messages=MESSAGES, node=CLEAN_NODE) == []
+
+
+def test_pl006_not_checked_without_dedup_contract():
+    contracts = {"carousel": {
+        "Req": MessageContract(("Server",), replies=("Rep",),
+                               retried=True, dedup=False),
+        "Rep": MessageContract(("Client",)),
+    }}
+    node = CLEAN_NODE.replace(
+        "        if msg.tid in self.seen:\n"
+        "            return\n", "")
+    assert not any(code == "PL006" for code, _ in
+                   run(contracts=contracts, messages=MESSAGES, node=node))
+
+
+# ----------------------------------------------------------------------
+# PL007 field-mismatch
+# ----------------------------------------------------------------------
+RECORDS = textwrap.dedent("""
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class Decision:
+        tid: int
+        verdict: str
+        writes: tuple = ()
+""")
+
+
+def pl007(body):
+    contracts = {"carousel": {}}
+    return [msg for code, msg in
+            run(contracts=contracts, records=RECORDS,
+                node="def build(extra):\n" + textwrap.indent(
+                    textwrap.dedent(body), "    "))
+            if code == "PL007"]
+
+
+def test_pl007_unknown_keyword():
+    (msg,) = pl007('return Decision(tid=1, verdict="c", extra_field=2)')
+    assert "unknown field(s) extra_field" in msg
+
+
+def test_pl007_missing_required_field():
+    (msg,) = pl007("return Decision(tid=1)")
+    assert "omits required field(s) verdict" in msg
+
+
+def test_pl007_too_many_positionals():
+    (msg,) = pl007('return Decision(1, "c", (), "extra")')
+    assert "4 positional arguments" in msg
+
+
+def test_pl007_valid_and_star_calls_are_clean():
+    assert pl007('a = Decision(1, "c")\n'
+                 'b = Decision(tid=2, verdict="a", writes=())\n'
+                 'c = Decision(**extra)\n'
+                 'return a, b, c') == []
+
+
+# ----------------------------------------------------------------------
+# PL008 fsm-conformance
+# ----------------------------------------------------------------------
+FSM_FIXTURE_SPEC = (FSMSpec(
+    name="fixture", path_fragment="core/machine.py", attr="phase",
+    states=("idle", "busy", "done"), initial=("idle",),
+    transitions={"idle": ("busy",), "busy": ("done",)}),)
+
+FSM_HEADER = """
+    IDLE = "idle"
+    BUSY = "busy"
+    DONE = "done"
+    WEIRD = "weird"
+"""
+
+
+def fsm_run(body):
+    sources = {"fx/core/machine.py":
+               textwrap.dedent(FSM_HEADER) + textwrap.dedent(body)}
+    findings = lint_sources(sources, contracts={},
+                            specs=FSM_FIXTURE_SPEC)
+    return sorted(f.message for f in findings
+                  if f.rule.code == "PL008")
+
+
+def test_pl008_clean_machine():
+    assert fsm_run("""
+        class M:
+            phase: str = IDLE
+
+            def start(self):
+                if self.phase == IDLE:
+                    self.phase = BUSY
+
+            def finish(self):
+                if self.phase == BUSY:
+                    self.phase = DONE
+    """) == []
+
+
+def test_pl008_undeclared_assigned_state():
+    (msg,) = fsm_run("""
+        class M:
+            phase: str = IDLE
+
+            def boom(self):
+                self.phase = WEIRD
+
+            def a(self):
+                self.phase = BUSY
+
+            def b(self):
+                self.phase = DONE
+    """)
+    assert "undeclared state 'weird'" in msg
+
+
+def test_pl008_undeclared_compared_state():
+    messages = fsm_run("""
+        class M:
+            phase: str = IDLE
+
+            def check(self):
+                return self.phase == WEIRD
+
+            def a(self):
+                self.phase = BUSY
+
+            def b(self):
+                self.phase = DONE
+    """)
+    assert any("compares .phase against undeclared state 'weird'" in m
+               for m in messages)
+
+
+def test_pl008_undeclared_transition():
+    (msg,) = fsm_run("""
+        class M:
+            phase: str = IDLE
+
+            def skip(self):
+                if self.phase == IDLE:
+                    self.phase = DONE
+
+            def a(self):
+                self.phase = BUSY
+    """)
+    assert "transition 'idle' -> 'done' is not declared" in msg
+
+
+def test_pl008_bad_initial_default():
+    messages = fsm_run("""
+        class M:
+            phase: str = BUSY
+
+            def a(self):
+                if self.phase == BUSY:
+                    self.phase = DONE
+
+            def b(self):
+                self.phase = IDLE
+    """)
+    assert any("class default 'busy' is not a declared initial state"
+               in m for m in messages)
+
+
+def test_pl008_bad_init_assignment():
+    messages = fsm_run("""
+        class M:
+            def __init__(self):
+                self.phase = BUSY
+
+            def a(self):
+                if self.phase == BUSY:
+                    self.phase = DONE
+
+            def b(self):
+                self.phase = IDLE
+    """)
+    assert any("__init__ sets .phase to 'busy'" in m for m in messages)
+
+
+def test_pl008_never_entered_state():
+    (msg,) = fsm_run("""
+        class M:
+            phase: str = IDLE
+
+            def a(self):
+                if self.phase == IDLE:
+                    self.phase = BUSY
+    """)
+    assert "declared state 'done' is never entered" in msg
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_protolint_suppression_by_code_and_slug():
+    node = CLEAN_NODE.replace(
+        "        self.set_timer(10.0, self.go)\n", "")
+    suppressed = node.replace(
+        "        self.send(dst, Req(tid=1))\n",
+        "        self.send(dst, Req(tid=1))  "
+        "# protolint: ignore[PL005]\n")
+    sources = {"fx/core/messages.py": MESSAGES,
+               "fx/core/node.py": suppressed}
+    assert lint_sources(sources, contracts=CONTRACT, specs=NO_SPECS) == []
+    kept = lint_sources(sources, contracts=CONTRACT, specs=NO_SPECS,
+                        keep_suppressed=True)
+    assert [f.rule.code for f in kept] == ["PL005"]
+
+
+def test_detlint_comment_does_not_silence_protolint():
+    node = CLEAN_NODE.replace(
+        "        self.set_timer(10.0, self.go)\n", "")
+    annotated = node.replace(
+        "        self.send(dst, Req(tid=1))\n",
+        "        self.send(dst, Req(tid=1))  "
+        "# detlint: ignore[PL005]\n")
+    sources = {"fx/core/messages.py": MESSAGES,
+               "fx/core/node.py": annotated}
+    findings = lint_sources(sources, contracts=CONTRACT, specs=NO_SPECS)
+    assert [f.rule.code for f in findings] == ["PL005"]
+
+
+# ----------------------------------------------------------------------
+# Tree-level checks and planted-bug self-checks
+# ----------------------------------------------------------------------
+def test_real_tree_is_clean():
+    assert lint_paths() == []
+
+
+def test_plant_dead_handler_fires_pl001():
+    findings = lint_paths(plant="dead-handler")
+    assert any(f.rule.code == "PL001" and "ClientHeartbeat" in f.message
+               for f in findings)
+
+
+def test_plant_missing_reply_fires_pl004():
+    findings = lint_paths(plant="missing-reply")
+    assert any(f.rule.code == "PL004" and "TapirRead" in f.message
+               for f in findings)
+
+
+def test_unknown_plant_rejected():
+    with pytest.raises(ValueError, match="unknown plant"):
+        apply_plant({"core/x.py": ""}, "nonsense")
+
+
+def test_plant_anchor_drift_raises():
+    with pytest.raises(ValueError, match="anchor not found"):
+        apply_plant({"fx/core/server.py": "nothing here\n"},
+                    "dead-handler")
+
+
+def test_coordinator_dispatch_tuple_matches_contract():
+    """Regression for making ``_COORDINATOR_MESSAGES`` load-bearing:
+    the dispatch tuples must cover exactly the contracted
+    CarouselServer-bound message types."""
+    from repro.core.server import (_COORDINATOR_MESSAGES,
+                                   _PARTITION_MESSAGES)
+    dispatched = {t.__name__ for t in _COORDINATOR_MESSAGES}
+    dispatched |= {t.__name__ for t in _PARTITION_MESSAGES}
+    contracted = {name for name, c in PROTOCOLS["carousel"].items()
+                  if "CarouselServer" in c.receivers}
+    assert dispatched == contracted
+
+
+def test_catalog_matches_protocol_md_byte_for_byte():
+    graph = build_graph(
+        {p: Path(p).read_text(encoding="utf-8")
+         for paths in [default_paths()]
+         for d in paths for p in map(str, sorted(Path(d).rglob("*.py")))})
+    catalog = render_catalog(graph)
+    doc = Path("PROTOCOL.md").read_text(encoding="utf-8")
+    assert extract_doc_catalog(doc) == catalog
+
+
+def test_embed_catalog_round_trip():
+    doc = (f"# Title\n\n{CATALOG_BEGIN}\nold\n{CATALOG_END}\n\ntail\n")
+    updated = embed_catalog(doc, "new catalog\n")
+    assert extract_doc_catalog(updated) == "new catalog\n"
+    assert updated.startswith("# Title")
+    assert updated.endswith("tail\n")
+    with pytest.raises(ValueError, match="no .* section"):
+        embed_catalog("no markers", "x\n")
