@@ -126,7 +126,11 @@ class LintConfig:
     # from outside the kernel (wall-clock stats, os.getpid for unique
     # temp-file names) and likewise never feeds anything back into a
     # simulation — every worker runs a fresh, fully-seeded kernel.
-    wallclock_allowed: Tuple[str, ...] = ("bench/", "perf/", "sweep/")
+    # wal/ exports WAL images as host-side debugging artifacts whose
+    # export timestamp is never read back into the DES (the log itself
+    # runs purely on virtual time).
+    wallclock_allowed: Tuple[str, ...] = ("bench/", "perf/", "sweep/",
+                                          "wal/")
     # chaos/ generates nemesis schedules and workload plans from RNGs
     # string-seeded by the run seed before the simulation starts, the
     # same pattern as workloads/.

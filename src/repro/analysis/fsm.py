@@ -67,6 +67,17 @@ FSM_SPECS: Tuple[FSMSpec, ...] = (
         },
     ),
     FSMSpec(
+        name="coordinator-wal",
+        path_fragment="core/coordinator.py",
+        attr="wal_state",
+        states=("active", "recovery"),
+        initial=("active",),
+        transitions={
+            "active": ("recovery",),
+            "recovery": ("active",),
+        },
+    ),
+    FSMSpec(
         name="carousel-client-txn",
         path_fragment="core/client.py",
         attr="phase",

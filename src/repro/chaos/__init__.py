@@ -10,19 +10,24 @@ derived from the run seed, so every failure is a replayable
 counterexample.  CLI: ``python -m repro chaos``.
 """
 
-from repro.chaos.bugs import PLANTABLE_BUGS, planted_writeback_bug
+from repro.chaos.bugs import (
+    PLANTABLE_BUGS,
+    planted_lost_commit_bug,
+    planted_writeback_bug,
+)
 from repro.chaos.minimize import minimize_schedule
 from repro.chaos.nemesis import (
     KIND_CRASH,
     KIND_FLAP,
     KIND_LINK,
     KIND_PARTITION,
+    KIND_RESTART,
     NemesisEvent,
     apply_schedule,
     generate_schedule,
     schedule_horizon,
 )
-from repro.chaos.oracles import OracleViolation
+from repro.chaos.oracles import OracleViolation, check_durability
 from repro.chaos.runner import (
     SYSTEMS,
     ChaosOptions,
@@ -37,6 +42,7 @@ __all__ = [
     "KIND_FLAP",
     "KIND_LINK",
     "KIND_PARTITION",
+    "KIND_RESTART",
     "NemesisEvent",
     "OracleViolation",
     "PLANTABLE_BUGS",
@@ -46,8 +52,10 @@ __all__ = [
     "ClusterAdapter",
     "apply_schedule",
     "canonical_system",
+    "check_durability",
     "generate_schedule",
     "minimize_schedule",
+    "planted_lost_commit_bug",
     "planted_writeback_bug",
     "run_chaos",
     "schedule_horizon",

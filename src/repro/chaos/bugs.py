@@ -44,5 +44,35 @@ def planted_writeback_bug():
         participant_mod.PartitionComponent.on_writeback = original
 
 
+@contextmanager
+def planted_lost_commit_bug():
+    """Skip the Carousel coordinator's decision journaling.
+
+    With this patch, a commit decision is externalized to the client
+    without first being written to the coordinator's WAL.  A power-cycle
+    of the coordinator then loses the decision: nothing re-drives the
+    transaction's writebacks, and if a RAM-wiped restarted replica later
+    wins the group's election, the mirrored coordinator state is gone
+    everywhere.  Caught by the ``durability-lost-commit`` oracle (and,
+    depending on timing, decision-consistency/value-parity).  Only
+    affects the Carousel systems — and only under a nemesis schedule
+    that actually restarts the coordinator at the wrong moment, which is
+    the point: the oracle, not luck, must find it.
+    """
+    from repro.core import coordinator as coordinator_mod
+
+    original = coordinator_mod.CoordinatorComponent._persist_decision
+
+    def buggy(self, state):
+        return None
+
+    coordinator_mod.CoordinatorComponent._persist_decision = buggy
+    try:
+        yield
+    finally:
+        coordinator_mod.CoordinatorComponent._persist_decision = original
+
+
 #: Name -> context-manager factory, for the CLI's ``--plant-bug``.
-PLANTABLE_BUGS = {"writeback-dup": planted_writeback_bug}
+PLANTABLE_BUGS = {"writeback-dup": planted_writeback_bug,
+                  "lost-commit": planted_lost_commit_bug}

@@ -151,6 +151,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="workload transactions per run")
     parser.add_argument("--events", type=int, default=6,
                         help="nemesis events per schedule")
+    parser.add_argument("--restart-weight", type=int, default=0,
+                        metavar="W",
+                        help="extra sampling weight for power-cycle "
+                             "(restart) nemesis events (default 0: "
+                             "unchanged legacy timelines); any W > 0 "
+                             "also enables the final-restart durability "
+                             "check")
+    parser.add_argument("--final-restart", action="store_true",
+                        help="power-cycle every server after the normal "
+                             "oracles and check durability against the "
+                             "WAL-rebuilt state")
     parser.add_argument("--plant-bug", choices=sorted(PLANTABLE_BUGS),
                         default=None,
                         help="activate a known bug to validate the oracles")
@@ -166,7 +177,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     systems = list(SYSTEMS) if args.system == "all" else [
         canonical_system(args.system)]
     seeds = parse_seeds(args.seeds)
-    opts = ChaosOptions(rounds=args.rounds, n_events=args.events)
+    opts = ChaosOptions(rounds=args.rounds, n_events=args.events,
+                        restart_weight=args.restart_weight,
+                        final_restart=(args.final_restart
+                                       or args.restart_weight > 0))
     planted_bug = PLANTABLE_BUGS.get(args.plant_bug)
 
     failures = 0
@@ -180,11 +194,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                planted_bug=planted_bug)
             dropped = sum(row[4] for row in result.link_rows)
             duplicated = sum(row[5] for row in result.link_rows)
+            restarts = sum(n for _, n in result.restart_counts)
             if result.ok:
                 print(f"  seed {seed}: ok    committed={result.committed}"
                       f" aborted={result.aborted}"
                       f" nemesis={len(result.schedule)}"
-                      f" drops={dropped} dups={duplicated}")
+                      f" drops={dropped} dups={duplicated}"
+                      f" restarts={restarts}")
                 continue
             failures += 1
             print(f"  seed {seed}: FAIL  "

@@ -4,7 +4,9 @@ Given a schedule whose run violates an oracle, find a small *subsequence*
 that still fails.  Events keep their original absolute times — a
 subsequence is the same timeline with some faults simply not injected —
 so each candidate replays deterministically through
-:func:`repro.chaos.runner.run_chaos`.
+:func:`repro.chaos.runner.run_chaos`.  This holds for power-cycle
+(``restart``) events too: the crash and its WAL-image restart stay
+pinned to their absolute times, and dropping the event drops the pair.
 
 The strategy mirrors :mod:`repro.analysis.divergence`'s bisection: try
 each event alone (most planted bugs need exactly one fault window), then

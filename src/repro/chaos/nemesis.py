@@ -27,6 +27,10 @@ KIND_FLAP = "flap"
 KIND_PARTITION = "partition"
 #: Install a :class:`LinkFaults` model on one link for ``duration_ms``.
 KIND_LINK = "degrade-link"
+#: Fail-stop crash followed by a *power-cycle* ``duration_ms`` later: all
+#: in-memory state is discarded and the node re-instantiates from its WAL
+#: image (exercises durable recovery rather than fail-stop resume).
+KIND_RESTART = "restart"
 
 #: Sampling weights: link-level faults are the most interesting (they
 #: exercise retransmission and idempotence), crashes next, partitions and
@@ -55,7 +59,7 @@ class NemesisEvent:
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_CRASH, KIND_FLAP, KIND_PARTITION,
-                             KIND_LINK):
+                             KIND_LINK, KIND_RESTART):
             raise ValueError(f"unknown nemesis kind {self.kind!r}")
         if self.kind == KIND_LINK:
             if len(self.targets) != 2:
@@ -129,7 +133,10 @@ def event_from_json(doc: dict) -> NemesisEvent:
 def generate_schedule(seed: int, servers: Sequence[str],
                       links: Sequence[Tuple[str, str]],
                       start_ms: float, end_ms: float,
-                      n_events: int) -> List[NemesisEvent]:
+                      n_events: int,
+                      restart_weight: int = 0,
+                      groups: Sequence[Tuple[str, ...]] = ()
+                      ) -> List[NemesisEvent]:
     """Sample a random nemesis timeline over ``[start_ms, end_ms]``.
 
     Draws from ``random.Random(f"nemesis:{seed}")`` — a string seed, so
@@ -139,15 +146,26 @@ def generate_schedule(seed: int, servers: Sequence[str],
     harness passes server ids only: a crashed client would simply stall
     its own transactions forever, which tests nothing); ``links`` are the
     candidate endpoint pairs for degradation windows.
+
+    ``restart_weight`` adds that many :data:`KIND_RESTART` tickets to the
+    sampling weights.  The default of 0 keeps every pre-existing
+    ``(seed, n_events)`` timeline byte-identical.  When ``groups`` (the
+    replica sets of the deployment's consensus groups) is provided, half
+    the restart tickets power-cycle an *entire group* with staggered,
+    overlapping windows — the correlated failure that wipes every
+    RAM-held copy of a group's state at once, which is what separates
+    real durability from fail-stop survivorship.  A group ticket expands
+    to one event per member, so the schedule may exceed ``n_events``.
     """
     if not servers:
         raise ValueError("need at least one server to torment")
     if end_ms <= start_ms:
         raise ValueError("empty nemesis window")
     rng = random.Random(f"nemesis:{seed}")
+    weights = _KIND_WEIGHTS + [KIND_RESTART] * restart_weight
     events: List[NemesisEvent] = []
     for _ in range(n_events):
-        kind = rng.choice(_KIND_WEIGHTS)
+        kind = rng.choice(weights)
         at = rng.uniform(start_ms, end_ms)
         if kind == KIND_LINK and links:
             a, b = links[rng.randrange(len(links))]
@@ -160,6 +178,13 @@ def generate_schedule(seed: int, servers: Sequence[str],
                 kind=KIND_LINK, at_ms=at,
                 duration_ms=rng.uniform(800.0, 5000.0),
                 targets=(a, b), faults=faults))
+        elif kind == KIND_RESTART and groups and rng.random() < 0.5:
+            group = groups[rng.randrange(len(groups))]
+            duration = rng.uniform(1500.0, 4000.0)
+            for i, node_id in enumerate(sorted(group)):
+                events.append(NemesisEvent(
+                    kind=KIND_RESTART, at_ms=at + i * 60.0,
+                    duration_ms=duration, targets=(node_id,)))
         elif kind == KIND_FLAP:
             period = rng.uniform(150.0, 400.0)
             cycles = rng.randint(2, 3)
@@ -198,6 +223,9 @@ def apply_schedule(injector: FailureInjector,
         if ev.kind == KIND_CRASH:
             injector.crash_at(ev.targets[0], ev.at_ms)
             injector.recover_at(ev.targets[0], ev.end_ms)
+        elif ev.kind == KIND_RESTART:
+            injector.crash_at(ev.targets[0], ev.at_ms)
+            injector.restart_at(ev.targets[0], ev.end_ms)
         elif ev.kind == KIND_FLAP:
             injector.flap_at(ev.targets[0], ev.at_ms, ev.period_ms,
                              ev.cycles)

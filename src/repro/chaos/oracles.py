@@ -17,6 +17,12 @@ both equal the number of committed transactions that wrote it.
   workload key's ``(value, version)``.
 * **value-parity** — the agreed state equals the committed-increment
   count: fewer means a lost update, more means a double apply.
+* **durability** — evaluated against state *rebuilt from WAL images*
+  after every server is power-cycled: no client-visible commit may be
+  lost (``durability-lost-commit``) and no aborted write may resurface
+  (``durability-abort-resurfaced``).  The store checks split the
+  value-parity accounting by direction; the decision checks compare
+  client-visible outcomes against the rebuilt resolved maps.
 """
 
 from __future__ import annotations
@@ -142,4 +148,60 @@ def check_stores(adapter, results: Sequence[ResultRow],
                     f"key {key!r} at {node_id}: value={value} "
                     f"version={version}, expected {want} committed "
                     "increments", tid=last_tid.get(key), key=key))
+    return violations
+
+
+def check_durability(adapter, results: Sequence[ResultRow],
+                     keys: Sequence[str]) -> List[OracleViolation]:
+    """Committed writes survive a power cycle; aborted ones stay dead.
+
+    Run after every server has been restarted from its WAL image, so the
+    state inspected here is exactly what the durable records can rebuild
+    — RAM-only survivals cannot mask a journaling hole.
+    """
+    violations: List[OracleViolation] = []
+    committed_writes: Dict[str, int] = {}
+    last_tid: Dict[str, Any] = {}
+    for write_keys, result in results:
+        if not result.committed:
+            continue
+        for key in write_keys:
+            committed_writes[key] = committed_writes.get(key, 0) + 1
+            last_tid[key] = result.tid
+    for key in sorted(keys):
+        want = committed_writes.get(key, 0)
+        for node_id, store in adapter.stores_for_key(key):
+            record = store.read(key)
+            value = 0 if record.value is None else record.value
+            if value < want or record.version < want:
+                violations.append(OracleViolation(
+                    "durability-lost-commit",
+                    f"key {key!r} at {node_id} after restart: "
+                    f"value={value} version={record.version}, expected "
+                    f"{want} committed increments",
+                    tid=last_tid.get(key), key=key))
+            elif value > want or record.version > want:
+                violations.append(OracleViolation(
+                    "durability-abort-resurfaced",
+                    f"key {key!r} at {node_id} after restart: "
+                    f"value={value} version={record.version} exceeds "
+                    f"{want} committed increments",
+                    tid=last_tid.get(key), key=key))
+    # Decision-level: every client-visible outcome must match the
+    # rebuilt resolved maps of every partition the transaction wrote.
+    for write_keys, result in results:
+        for pid in adapter.partitions_for(write_keys):
+            for location, resolved in adapter.resolved_for_pid(pid):
+                decision = resolved.get(result.tid)
+                if result.committed and decision != COMMIT:
+                    found = "missing" if decision is None else decision
+                    violations.append(OracleViolation(
+                        "durability-lost-commit",
+                        f"committed txn {result.tid} is {found} at "
+                        f"{location} after restart", tid=result.tid))
+                elif not result.committed and decision == COMMIT:
+                    violations.append(OracleViolation(
+                        "durability-abort-resurfaced",
+                        f"aborted txn {result.tid} resolved as commit "
+                        f"at {location} after restart", tid=result.tid))
     return violations

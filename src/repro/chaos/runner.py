@@ -37,6 +37,7 @@ from repro.chaos.oracles import (
     OracleViolation,
     ResultRow,
     check_decisions,
+    check_durability,
     check_liveness,
     check_stores,
 )
@@ -44,7 +45,7 @@ from repro.core.backoff import RetryPolicy
 from repro.core.config import BASIC, FAST, CarouselConfig
 from repro.raft.node import RaftConfig
 from repro.sim.failure import FailureInjector
-from repro.sim.stats import link_fault_summary
+from repro.sim.stats import link_fault_summary, restart_summary
 from repro.tapir.config import TapirConfig
 from repro.trace.tracer import Tracer
 from repro.txn import TransactionSpec
@@ -67,6 +68,11 @@ _CHAOS_RAFT = dict(election_timeout_min_ms=400.0,
                    heartbeat_interval_ms=100.0)
 _CHAOS_BACKOFF = dict(base_ms=800.0, multiplier=2.0, max_ms=6400.0,
                       jitter_fraction=0.1)
+
+#: Virtual ms the final-restart verification phase runs: long enough for
+#: every group to elect a leader from scratch (400–800 ms timeouts, with
+#: retries for split votes), commit its term no-op, and re-apply its log.
+_RESTART_VERIFY_MS = 15_000.0
 
 
 def canonical_system(name: str) -> str:
@@ -99,6 +105,13 @@ class ChaosOptions:
     drain_ms: float = 8000.0
     #: Nemesis events per generated schedule.
     n_events: int = 6
+    #: Extra sampling weight for power-cycle (``restart``) events; the
+    #: default of 0 keeps pre-existing seeded timelines byte-identical.
+    restart_weight: int = 0
+    #: After the normal oracles pass judgment on the quiesced state,
+    #: power-cycle *every* server and run the durability oracle against
+    #: the state rebuilt purely from WAL images.
+    final_restart: bool = False
     #: Attach a recording tracer (costs memory; used for counterexamples).
     trace: bool = False
 
@@ -116,6 +129,9 @@ class ChaosRunResult:
     violations: List[OracleViolation] = field(default_factory=list)
     #: ``(time_ms, action, subject)`` from the failure injector.
     nemesis_log: List[Tuple[float, str, str]] = field(default_factory=list)
+    #: ``(node_id, restarts)`` for every node that power-cycled (includes
+    #: the final-restart verification phase when enabled).
+    restart_counts: List[Tuple[str, int]] = field(default_factory=list)
     #: Per-link fault counters (see ``repro.sim.stats.link_fault_summary``).
     link_rows: List[Tuple] = field(default_factory=list)
     messages_dropped: int = 0
@@ -169,6 +185,15 @@ class ClusterAdapter:
     def partitions_for(self, keys: Sequence[str]) -> List[str]:
         """Sorted partition ids holding ``keys``."""
         return sorted({self.cluster.ring.partition_for(k) for k in keys})
+
+    def replica_groups(self) -> List[Tuple[str, ...]]:
+        """The replica node-id set of every consensus group (for TAPIR,
+        of every partition), sorted — the correlated-restart targets."""
+        groups = set()
+        for pid in self.cluster.partition_ids:
+            groups.add(tuple(sorted(
+                r.node_id for r in self.cluster.replicas_of(pid))))
+        return sorted(groups)
 
     def stores_for_key(self, key: str) -> List[Tuple[str, Any]]:
         """``(node_id, VersionedKVStore)`` for every replica of ``key``."""
@@ -333,7 +358,9 @@ def run_chaos(system: str, seed: int,
                 seed, servers, candidate_links(adapter),
                 start_ms=opts.warmup_ms,
                 end_ms=opts.warmup_ms + opts.window_ms,
-                n_events=opts.n_events)
+                n_events=opts.n_events,
+                restart_weight=opts.restart_weight,
+                groups=adapter.replica_groups())
         schedule = list(schedule)
         injector = FailureInjector(kernel, cluster.network)
         apply_schedule(injector, schedule, servers)
@@ -376,6 +403,21 @@ def run_chaos(system: str, seed: int,
         violations.extend(check_liveness(adapter, expected, results))
         violations.extend(check_decisions(adapter, results))
         violations.extend(check_stores(adapter, results, keys))
+
+        if opts.final_restart:
+            # Durability verification, in two judgments.  First on the
+            # quiesced state: a committed write absent (or an aborted
+            # one present) here is already lost, whatever RAM still
+            # holds.  Then power-cycle every server so all RAM state is
+            # gone, give the groups time to re-elect and re-apply their
+            # logs from the rebuilt WAL state, and judge again — this
+            # time nothing can hide in volatile survivorship.
+            violations.extend(check_durability(adapter, results, keys))
+            for node_id in servers:
+                injector.restart_now(node_id)
+            kernel.run(until=kernel.now + _RESTART_VERIFY_MS)
+            violations.extend(check_durability(adapter, results, keys))
+
         if tracer is not None:
             tracer.detach()
         return ChaosRunResult(
@@ -385,6 +427,7 @@ def run_chaos(system: str, seed: int,
             aborted=sum(1 for _, r in results if not r.committed),
             violations=violations,
             nemesis_log=list(injector.log),
+            restart_counts=restart_summary(cluster.network),
             link_rows=link_fault_summary(cluster.network),
             messages_dropped=cluster.network.messages_dropped,
             messages_delivered=cluster.network.messages_delivered,

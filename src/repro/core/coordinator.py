@@ -33,7 +33,12 @@ from repro.core.messages import (
     WritebackAck,
 )
 from repro.core.occ import ABORT, PREPARED
-from repro.trace.tracer import SPAN_CPC_FAST, SPAN_CPC_SLOW, SPAN_WRITEBACK
+from repro.trace.tracer import (
+    SPAN_CPC_FAST,
+    SPAN_CPC_SLOW,
+    SPAN_RECOVERY,
+    SPAN_WRITEBACK,
+)
 from repro.core.records import (
     CoordDecisionRecord,
     CoordSetsRecord,
@@ -47,8 +52,14 @@ from repro.txn import (
     REASON_TIMEOUT,
     TID,
 )
+from repro.wal.records import CoordDecisionWal, CoordFinishWal
 
 COMMIT = "commit"
+
+#: Coordinator durability FSM: normal operation vs. WAL replay after a
+#: power cycle (decisions are journaled in ACTIVE, re-driven in RECOVERY).
+WAL_ACTIVE = "active"
+WAL_RECOVERY = "recovery"
 
 
 def supermajority(group_size: int) -> int:
@@ -81,6 +92,10 @@ class CoordTxnState:
     decision: Optional[str] = None
     reason: str = ""
     replied: bool = False
+    #: Rebuilt from the coordinator's decision WAL after a power cycle:
+    #: the writeback phase is re-driven even before (re)winning leadership,
+    #: because the durable decision is this node's own obligation.
+    wal_recovered: bool = False
     writeback_acks: Set[str] = field(default_factory=set)
     #: Retransmission counters driving the backoff schedules.
     requery_attempts: int = 0
@@ -119,6 +134,7 @@ class CoordinatorComponent:
         self.states: Dict[TID, CoordTxnState] = {}
         #: Outcomes of finished transactions, for late/duplicate messages.
         self.finished: Dict[TID, str] = {}
+        self.wal_state = WAL_ACTIVE
         self.fast_path_decisions = 0
         self.slow_path_decisions = 0
 
@@ -377,6 +393,9 @@ class CoordinatorComponent:
         state.reason = reason
         self._cancel_timer(state, "requery_timer")
         self._cancel_timer(state, "heartbeat_timer")
+        # Fsync the decision BEFORE the reply externalizes it: a committed
+        # answer the client has seen must survive a power cycle here.
+        self._persist_decision(state)
         self._reply(state)
         member = self._member_for(state.group_id)
         if member is not None and member.is_leader:
@@ -436,7 +455,10 @@ class CoordinatorComponent:
     def _retry_writebacks(self, state: CoordTxnState) -> None:
         if state.tid in self.finished:
             return
-        if self._is_leader_of(state.group_id):
+        # WAL-recovered decisions are this node's own durable obligation:
+        # keep re-driving them even as a follower (a concurrent re-drive by
+        # the current leader is harmless — writebacks are idempotent).
+        if self._is_leader_of(state.group_id) or state.wal_recovered:
             state.writeback_attempts += 1
             self._send_writebacks(state)
 
@@ -450,6 +472,71 @@ class CoordinatorComponent:
         self._cancel_timer(state, "requery_timer")
         self.finished[state.tid] = state.decision or ABORT
         self.states.pop(state.tid, None)
+        wal = self.server.wal
+        if wal is not None and state.decision is not None:
+            wal.append(CoordFinishWal(tid=state.tid))
+
+    # ------------------------------------------------------------------
+    # Durability (decision WAL; §4.3 made crash-proof, not just fail-stop)
+    # ------------------------------------------------------------------
+    def _persist_decision(self, state: CoordTxnState) -> None:
+        """Journal the 2PC outcome with everything needed to re-drive its
+        writeback phase from a cold start."""
+        wal = self.server.wal
+        if wal is None:
+            return
+        wal.append(CoordDecisionWal(
+            tid=state.tid, group_id=state.group_id,
+            client_id=state.client_id,
+            decision=state.decision or ABORT, reason=state.reason,
+            participants=tuple(sorted(state.participants.items())),
+            writes=tuple(sorted(state.writes.items()))))
+
+    def restore_from_wal(self, records) -> None:
+        """Rebuild decided-but-unfinished transactions after a power cycle.
+
+        Runs in the RECOVERY state: each journaled decision without a
+        matching finish record is re-instantiated (participants, writes,
+        outcome) and its writeback phase re-driven immediately — the
+        client already saw the reply, so the writes are owed to the
+        participant partitions no matter who leads the group now.
+        """
+        if self.wal_state == WAL_ACTIVE:
+            self.wal_state = WAL_RECOVERY
+        decided: Dict[TID, CoordDecisionWal] = {}
+        done = set()
+        for record in records:
+            if isinstance(record, CoordDecisionWal):
+                decided[record.tid] = record
+            elif isinstance(record, CoordFinishWal):
+                done.add(record.tid)
+        redriven = 0
+        # Replay order is WAL append order (dict insertion order), itself
+        # deterministic under a fixed seed.  detlint: ignore[values-fanout]
+        for tid, record in decided.items():
+            if tid in done:
+                self.finished[tid] = record.decision
+                continue
+            state = CoordTxnState(
+                tid=tid, client_id=record.client_id,
+                group_id=record.group_id,
+                participants=dict(record.participants),
+                sets_replicated=True, commit_requested=True,
+                writes=dict(record.writes), write_data_replicated=True,
+                decision=record.decision, reason=record.reason,
+                replied=True, wal_recovered=True)
+            self.states[tid] = state
+            self._send_writebacks(state)
+            redriven += 1
+        tracer = self.server.tracer
+        if tracer.enabled:
+            tracer.point(None, SPAN_RECOVERY, self.server.node_id,
+                         self.server.dc,
+                         detail=(f"coordinator wal-restore "
+                                 f"redriven={redriven} "
+                                 f"finished={len(done)}"))
+        if self.wal_state == WAL_RECOVERY:
+            self.wal_state = WAL_ACTIVE
 
     # ------------------------------------------------------------------
     # Client-failure handling (§4.3.1)

@@ -39,6 +39,7 @@ from repro.raft.node import RaftMember
 from repro.trace.tracer import SPAN_PREPARE
 from repro.store.kvstore import VersionedKVStore
 from repro.txn import TID
+from repro.wal.records import OccPrepareWal
 
 COMMIT = "commit"
 
@@ -231,11 +232,13 @@ class PartitionComponent:
                 decision=decision, read_versions=versions, term=term))
 
         if decision == PREPARED:
-            self.pending.add(PendingTxn(
+            entry = PendingTxn(
                 tid=tid, read_keys=frozenset(msg.read_keys),
                 write_keys=frozenset(msg.write_keys),
                 read_versions=versions, term=term,
-                coordinator_id=msg.coordinator_id, provisional=True))
+                coordinator_id=msg.coordinator_id, provisional=True)
+            self._persist_provisional(entry)
+            self.pending.add(entry)
 
         record = PrepareRecord(
             tid=tid, partition_id=self.partition_id, decision=decision,
@@ -290,11 +293,13 @@ class PartitionComponent:
         versions = freeze_versions(self._current_versions(msg.read_keys))
         term = self.member.current_term
         if decision == PREPARED:
-            self.pending.add(PendingTxn(
+            entry = PendingTxn(
                 tid=tid, read_keys=frozenset(msg.read_keys),
                 write_keys=frozenset(msg.write_keys),
                 read_versions=versions, term=term,
-                coordinator_id=msg.coordinator_id, provisional=True))
+                coordinator_id=msg.coordinator_id, provisional=True)
+            self._persist_provisional(entry)
+            self.pending.add(entry)
         self.fast_votes_cast += 1
         if tracer.enabled:
             tracer.point(tid, "fast-vote", self.server.node_id,
@@ -344,6 +349,51 @@ class PartitionComponent:
     def vote_payload(self):
         """Pending-transaction list piggybacked on Raft votes (§4.3.3)."""
         return self.pending.snapshot()
+
+    # ------------------------------------------------------------------
+    # Durability (provisional prepared-set redo across power cycles)
+    # ------------------------------------------------------------------
+    def _persist_provisional(self, entry: PendingTxn) -> None:
+        """Fsync a provisional pending entry before the vote it backs.
+
+        §4.3.3's leader recovery reconstructs prepared transactions from
+        surviving replicas' pending lists; journaling provisional entries
+        keeps a power-cycled replica a usable member of that protocol
+        instead of one that silently forgot every vote it cast.
+        """
+        wal = self.server.wal
+        if wal is None:
+            return
+        wal.append(OccPrepareWal(
+            partition_id=self.partition_id, tid=entry.tid,
+            read_keys=tuple(sorted(entry.read_keys)),
+            write_keys=tuple(sorted(entry.write_keys)),
+            read_versions=entry.read_versions, term=entry.term,
+            coordinator_id=entry.coordinator_id))
+
+    def restore_pending_from_wal(self, records) -> int:
+        """Redo provisional pending entries after a power cycle.
+
+        Undo happens the same way it does in steady state: as the Raft
+        log re-applies, PrepareRecord/CommitRecord processing confirms or
+        removes each entry.  Returns how many entries were restored.
+        """
+        restored = 0
+        for record in records:
+            if not isinstance(record, OccPrepareWal):
+                continue
+            if record.partition_id != self.partition_id:
+                continue
+            if record.tid in self.resolved or \
+                    self.pending.get(record.tid) is not None:
+                continue
+            self.pending.add(PendingTxn(
+                tid=record.tid, read_keys=frozenset(record.read_keys),
+                write_keys=frozenset(record.write_keys),
+                read_versions=record.read_versions, term=record.term,
+                coordinator_id=record.coordinator_id, provisional=True))
+            restored += 1
+        return restored
 
     def on_leadership(self, member: RaftMember, vote_payloads) -> None:
         """This server was just elected participant leader."""

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.occ import PREPARED, PendingTxn
 from repro.core.records import PrepareRecord
+from repro.trace.tracer import SPAN_RECOVERY
 from repro.txn import TID
 
 
@@ -121,10 +122,27 @@ def run_participant_recovery(component, vote_payloads: Dict[str, object]
     ``component`` is the partition's
     :class:`~repro.core.participant.PartitionComponent`; requests are
     buffered until the recovered prepare decisions finish replicating.
+
+    Buffering starts immediately, but steps 3–5 wait for the term-start
+    barrier (:attr:`RaftMember.term_start_applied`): step 2's "completing
+    replications" is only *done* once the no-op — and every predecessor
+    entry it forces to commit — has applied locally.  Examining lists
+    earlier would filter candidates against a store that lags the log;
+    after a power-cycle restart the store is empty until re-apply, and a
+    stale-version filter run against it would wrongly drop (or keep)
+    every candidate.  If leadership is lost before the barrier applies,
+    the deferred work is dropped with it — the component stays buffering
+    until this node's next election re-runs recovery, exactly as a lost
+    step-5 replication already behaved.
     """
     member = component.member
     component.begin_recovery()
+    member.when_term_start_applied(
+        lambda: _recover_at_barrier(component, vote_payloads))
 
+
+def _recover_at_barrier(component, vote_payloads: Dict[str, object]) -> None:
+    member = component.member
     f = (len(member.member_ids) - 1) // 2
     lists = select_candidate_lists(
         component.pending.snapshot(), vote_payloads,
@@ -143,6 +161,15 @@ def run_participant_recovery(component, vote_payloads: Dict[str, object]
                   and c.tid not in component.resolved]
     accepted = filter_candidates(candidates, slow_path,
                                  component._current_versions)
+
+    tracer = component.server.tracer
+    if tracer.enabled:
+        tracer.point(None, SPAN_RECOVERY, component.server.node_id,
+                     component.server.dc,
+                     detail=(f"{component.partition_id} leader-recovery "
+                             f"lists={len(lists)} "
+                             f"candidates={len(candidates)} "
+                             f"accepted={len(accepted)}"))
 
     # Drop provisional entries that did not survive: their prepares died
     # with the old leader and will be retried by clients or coordinators.

@@ -30,9 +30,11 @@ from repro.layered.messages import (
 )
 from repro.raft.node import RaftHost, RaftMember
 from repro.store.kvstore import VersionedKVStore
-from repro.trace.tracer import SPAN_PREPARE, SPAN_WRITEBACK
+from repro.trace.tracer import SPAN_PREPARE, SPAN_RECOVERY, SPAN_WRITEBACK
 from repro.txn import REASON_COMMITTED, REASON_CONFLICT, \
     REASON_STALE_READ, TID
+from repro.wal.log import WriteAheadLog
+from repro.wal.records import LayeredDecisionWal, LayeredFinishWal
 
 COMMIT = "commit"
 
@@ -61,8 +63,21 @@ class _LayeredPartition:
     def is_leader(self) -> bool:
         return self.member is not None and self.member.is_leader
 
+    @property
+    def serving(self) -> bool:
+        """Leader *and* past the term-start barrier.
+
+        A newly elected leader's store may lag its (complete) log — the
+        acute case is a power-cycled replica whose log was rebuilt from
+        the WAL image but whose store is empty until re-apply.  Serving
+        reads or validating prepares against that store would hand out
+        stale versions, so requests are dropped (clients retry) until the
+        term's no-op has applied locally.
+        """
+        return self.member is not None and self.member.term_start_applied
+
     def on_read(self, msg: LayeredRead) -> None:
-        if not self.is_leader:
+        if not self.serving:
             return
         values = {}
         for key in msg.keys:
@@ -72,7 +87,7 @@ class _LayeredPartition:
             tid=msg.tid, partition_id=self.partition_id, values=values))
 
     def on_prepare(self, msg: LayeredPrepare) -> None:
-        if not self.is_leader:
+        if not self.serving:
             return
         tid = msg.tid
         if tid in self.resolved:
@@ -119,7 +134,7 @@ class _LayeredPartition:
             self._inflight.pop(tid, None)
 
     def on_writeback(self, msg: LayeredWriteback) -> None:
-        if not self.is_leader:
+        if not self.serving:
             return
         tid = msg.tid
         if tid in self.resolved:
@@ -209,6 +224,10 @@ class LayeredServer(RaftHost):
         self.partitions: Dict[str, _LayeredPartition] = {}
         self.coord_states: Dict[TID, _CoordState] = {}
         self.finished: Dict[TID, str] = {}
+        self.wal = WriteAheadLog(node_id)
+        self.wal.attach_host(self)
+        #: Deployment shape, for power-cycle re-creation.
+        self._partition_specs: List = []
 
     def add_partition(self, partition_id: str, member_ids: List[str],
                       bootstrap_leader: Optional[str] = None
@@ -224,7 +243,65 @@ class LayeredServer(RaftHost):
             bootstrap_leader=bootstrap_leader)
         partition.member = member
         self.partitions[partition_id] = partition
+        self._partition_specs.append((partition_id, tuple(member_ids)))
         return partition
+
+    def on_recover(self) -> None:
+        """Fail-stop recovery: coordinator state survived in RAM, but the
+        crash bumped the timer epoch, so writeback retry timers armed by
+        the previous incarnation are dead — re-arm the retry loop for
+        every transaction still in its writeback phase."""
+        super().on_recover()
+        # Ordered: insertion order, deterministic under a fixed seed.
+        # detlint: ignore[values-fanout]
+        for state in list(self.coord_states.values()):
+            if state.decision is not None and state.replied:
+                self._arm_writeback_retry(state)
+
+    def on_restart(self) -> None:
+        """Power-cycle recovery: rebuild partitions and Raft members
+        fresh, replay Raft persistent state from the WAL, and re-drive
+        the writeback phase of every journaled-but-unfinished decision.
+        Partition pending lists rebuild through the Raft apply path as
+        the commit index re-advances under a live leader."""
+        records = self.wal.replay()
+        self.members = {}
+        self.partitions = {}
+        self.coord_states = {}
+        self.finished = {}
+        specs, self._partition_specs = list(self._partition_specs), []
+        for partition_id, member_ids in specs:
+            self.add_partition(partition_id, list(member_ids))
+        self.replay_raft_wal(records)
+        decided: Dict[TID, LayeredDecisionWal] = {}
+        done = set()
+        for record in records:
+            if isinstance(record, LayeredDecisionWal):
+                decided[record.tid] = record
+            elif isinstance(record, LayeredFinishWal):
+                done.add(record.tid)
+        redriven = 0
+        # Replay order is WAL append order (dict insertion order).
+        # detlint: ignore[values-fanout]
+        for tid, record in decided.items():
+            if tid in done:
+                self.finished[tid] = record.decision
+                continue
+            state = _CoordState(
+                tid=tid, client_id=record.client_id,
+                group_id=record.group_id,
+                participants=dict(record.participants),
+                writes=dict(record.writes),
+                decision=record.decision, decision_replicated=True,
+                replied=True)
+            self.coord_states[tid] = state
+            self._send_writebacks(state)
+            redriven += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.point(None, SPAN_RECOVERY, self.node_id, self.dc,
+                         detail=(f"wal-restart records={len(records)} "
+                                 f"redriven={redriven}"))
 
     def _apply(self, group_id: str, entry) -> None:
         command = entry.command
@@ -281,8 +358,10 @@ class LayeredServer(RaftHost):
                     else REASON_CONFLICT))
             return
         member = self.members.get(msg.group_id)
-        if member is None or not member.is_leader:
-            return  # stale directory; client retries
+        if member is None or not member.term_start_applied:
+            # Stale directory, or a fresh leader whose coord-state mirror
+            # has not re-applied yet; either way the client retries.
+            return
         state = _CoordState(
             tid=msg.tid, client_id=msg.client_id, group_id=msg.group_id,
             participants=dict(msg.participants), writes=dict(msg.writes),
@@ -339,6 +418,7 @@ class LayeredServer(RaftHost):
         def decision_replicated(__):
             # Only after the decision is durable may the client learn it —
             # the layered architecture's extra sequential round trip.
+            self._persist_decision(state)
             state.replied = True
             reason = REASON_COMMITTED if decision == COMMIT \
                 else REASON_CONFLICT
@@ -357,6 +437,17 @@ class LayeredServer(RaftHost):
                           on_committed=decision_replicated) is None:
             pass  # lost leadership; client retry will re-drive
 
+    def _persist_decision(self, state: _CoordState) -> None:
+        """Journal the 2PC outcome before the reply externalizes it."""
+        if self.wal is None:
+            return
+        self.wal.append(LayeredDecisionWal(
+            tid=state.tid, group_id=state.group_id,
+            client_id=state.client_id,
+            decision=state.decision or ABORT,
+            participants=tuple(sorted(state.participants.items())),
+            writes=tuple(sorted(state.writes.items()))))
+
     def _send_writebacks(self, state: _CoordState) -> None:
         # Sorted so writeback order never depends on insertion history —
         # the bug class detlint's DL001/DL005 exist for.
@@ -372,6 +463,10 @@ class LayeredServer(RaftHost):
                 decision=state.decision, writes=writes))
         # A lost writeback (or its ack) would otherwise strand the
         # transaction — and, for commits, lose the update entirely.
+        self._arm_writeback_retry(state)
+
+    def _arm_writeback_retry(self, state: _CoordState) -> None:
+        """(Re-)arm the writeback retry timer for ``state``."""
         if state.writeback_timer is not None:
             state.writeback_timer.cancel()
         delay = self.retry_policy.delay_ms(state.writeback_attempts,
@@ -398,5 +493,7 @@ class LayeredServer(RaftHost):
             if state.writeback_timer is not None:
                 state.writeback_timer.cancel()
                 state.writeback_timer = None
+            if self.wal is not None and state.decision is not None:
+                self.wal.append(LayeredFinishWal(tid=state.tid))
             self.finished[state.tid] = state.decision or ABORT
             del self.coord_states[state.tid]

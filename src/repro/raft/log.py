@@ -72,22 +72,47 @@ class RaftLog:
         actual = self.term_at(index)
         return actual is not None and actual == term
 
-    def splice(self, prev_index: int, entries: List[LogEntry]) -> None:
+    def splice(self, prev_index: int,
+               entries: List[LogEntry]) -> List[LogEntry]:
         """Install replicated ``entries`` after ``prev_index``.
 
         Entries that already match (same index and term) are kept; the first
         conflict truncates the tail, after which the remaining new entries
         are appended.  This is the follower-side AppendEntries rule.
+
+        Returns the entries actually installed (appended or conflict-
+        replacing) so the host can journal exactly the mutations that
+        happened — re-delivered heartbeats that change nothing return ``[]``.
         """
+        installed: List[LogEntry] = []
         for offset, entry in enumerate(entries):
             index = prev_index + 1 + offset
             existing_term = self.term_at(index)
             if existing_term is None:
                 self._entries.append(entry)
+                installed.append(entry)
             elif existing_term != entry.term:
                 del self._entries[index - 1:]
                 self._entries.append(entry)
+                installed.append(entry)
             # else: identical entry already present; keep it.
+        return installed
+
+    def install_at(self, entry: LogEntry) -> bool:
+        """WAL-replay install: truncate at ``entry.index``, then append.
+
+        Journaled installs replay in append order, so an entry that
+        re-occupies an index it previously held (a conflict splice)
+        subsumes the truncation.  An entry past the current tail — only
+        possible when a lossy sync window dropped an earlier install
+        record — is skipped (returns ``False``); the resulting shorter
+        log is repaired by the leader's normal consistency check.
+        """
+        if entry.index > len(self._entries) + 1:
+            return False
+        del self._entries[entry.index - 1:]
+        self._entries.append(entry)
+        return True
 
     def all_entries(self) -> List[LogEntry]:
         """A copy of the whole log."""

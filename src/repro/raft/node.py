@@ -22,8 +22,11 @@ Design notes
 * On winning an election a leader appends a no-op entry from its new term,
   the standard way to force commitment of all earlier entries (this is what
   "completing replications" in §4.3.3 step 2 relies on).
-* Persistent state (term, vote, log) survives crash/recovery; volatile
-  leadership state does not.
+* Persistent state (term, vote, log) survives crash/recovery in RAM, and —
+  when the host carries a :class:`~repro.wal.log.WriteAheadLog` — is
+  journaled so a power-cycled host can rebuild it from the WAL image
+  (:meth:`RaftHost.replay_raft_wal`); volatile leadership state never
+  survives.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ from repro.raft.messages import (
 )
 from repro.sim.message import Message
 from repro.sim.node import Node
+from repro.wal.records import RaftAppendRecord, RaftTermRecord
 
 FOLLOWER = "follower"
 CANDIDATE = "candidate"
@@ -123,6 +127,10 @@ class RaftMember:
         self._election_timer = None
         self._heartbeat_timer = None
         self._commit_callbacks: Dict[int, Callable[[LogEntry], None]] = {}
+        #: Index of this term's no-op entry; the leader serving barrier
+        #: (``term_start_applied``) holds once it has applied locally.
+        self._term_start_index = 0
+        self._term_start_waiters: List[Callable[[], None]] = []
         #: Tracing: open replication spans keyed by log index.
         self._trace_spans: Dict[int, Any] = {}
         self.elections_started = 0
@@ -139,6 +147,32 @@ class RaftMember:
     @property
     def is_leader(self) -> bool:
         return self.state == LEADER
+
+    @property
+    def term_start_applied(self) -> bool:
+        """Leader serving barrier: true once this term's no-op has applied.
+
+        A freshly elected leader's *log* is complete (that is what the
+        election restriction guarantees) but its *state machine* may lag —
+        most visibly after a power-cycle restart, where the log was rebuilt
+        from the WAL image and nothing has been re-applied yet.  Serving
+        reads or admitting OCC prepares before catching up would expose
+        stale state.  The standard remedy (Raft §8) is to serve only after
+        the term-start no-op — and with it every earlier entry — has been
+        applied locally.
+        """
+        return self.state == LEADER and \
+            self.last_applied >= self._term_start_index
+
+    def when_term_start_applied(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` once the serving barrier holds (immediately if it
+        already does).  Pending callbacks are dropped on step-down or
+        crash; ``on_leadership`` of a later term re-registers its own.
+        """
+        if self.term_start_applied:
+            fn()
+        else:
+            self._term_start_waiters.append(fn)
 
     @property
     def majority(self) -> int:
@@ -167,9 +201,31 @@ class RaftMember:
         if self.bootstrap_leader == self.node_id:
             self.current_term = 1
             self.voted_for = self.node_id
+            self._persist_term()
             self._become_leader(vote_payloads={})
         else:
             self._reset_election_timer()
+
+    # ------------------------------------------------------------------
+    # Durability (no-ops when the host has no WAL attached)
+    # ------------------------------------------------------------------
+    def _persist_term(self) -> None:
+        """Journal currentTerm/votedFor; called after every mutation, before
+        any message that externalizes the new term or vote."""
+        wal = self.host.wal
+        if wal is not None:
+            wal.append(RaftTermRecord(group_id=self.group_id,
+                                      term=self.current_term,
+                                      voted_for=self.voted_for))
+
+    def _persist_entries(self, entries: List[LogEntry]) -> None:
+        """Journal log entries installed at their indexes."""
+        if not entries:
+            return
+        wal = self.host.wal
+        if wal is not None:
+            wal.append(RaftAppendRecord(group_id=self.group_id,
+                                        entries=tuple(entries)))
 
     def handle_host_crash(self) -> None:
         """Drop volatile leadership state; keep persistent state."""
@@ -178,6 +234,7 @@ class RaftMember:
         self.leader_id = None
         self._votes = {}
         self._commit_callbacks.clear()
+        self._term_start_waiters.clear()
         self._trace_spans.clear()
 
     def handle_host_recover(self) -> None:
@@ -208,6 +265,7 @@ class RaftMember:
         if self.state != LEADER:
             return None
         entry = self.log.append_new(self.current_term, command)
+        self._persist_entries([entry])
         tracer = self.host.tracer
         if tracer.enabled:
             self._trace_spans[entry.index] = tracer.span_begin(
@@ -247,6 +305,7 @@ class RaftMember:
         self.current_term += 1
         self.state = CANDIDATE
         self.voted_for = self.node_id
+        self._persist_term()
         self.leader_id = None
         self._votes = {self.node_id: self.vote_payload_fn()}
         self._reset_election_timer()
@@ -280,9 +339,11 @@ class RaftMember:
         if new_term > self.current_term:
             self.current_term = new_term
             self.voted_for = None
+            self._persist_term()
         was_leader = self.state == LEADER
         self.state = FOLLOWER
         self._votes = {}
+        self._term_start_waiters.clear()
         if was_leader:
             self._commit_callbacks.clear()
             self._trace_spans.clear()
@@ -302,10 +363,14 @@ class RaftMember:
             self.match_index[peer] = 0
             self._sent_up_to[peer] = 0
         self.match_index[self.node_id] = self.log.last_index
+        # The no-op appended below lands at this index; set the serving
+        # barrier first so ``on_leadership`` may register waiters on it.
+        self._term_start_index = self.log.last_index + 1
         if self.on_leadership is not None:
             self.on_leadership(self, vote_payloads)
         # Commit a no-op from the new term so predecessors' entries commit.
-        self.log.append_new(self.current_term, RaftNoop(self.node_id))
+        noop = self.log.append_new(self.current_term, RaftNoop(self.node_id))
+        self._persist_entries([noop])
         self.match_index[self.node_id] = self.log.last_index
         if len(self.member_ids) == 1:
             self._advance_commit()
@@ -342,6 +407,7 @@ class RaftMember:
             if (self.voted_for in (None, msg.candidate_id)) and up_to_date:
                 granted = True
                 self.voted_for = msg.candidate_id
+                self._persist_term()
                 self._reset_election_timer()
         self.host.send(msg.candidate_id, RequestVoteReply(
             group_id=self.group_id,
@@ -383,7 +449,8 @@ class RaftMember:
                 conflict_index=max(1, conflict)))
             return
 
-        self.log.splice(msg.prev_log_index, msg.entries)
+        installed = self.log.splice(msg.prev_log_index, msg.entries)
+        self._persist_entries(installed)
         match = msg.prev_log_index + len(msg.entries)
         if msg.leader_commit > self.commit_index:
             self.commit_index = min(msg.leader_commit, self.log.last_index)
@@ -478,6 +545,10 @@ class RaftMember:
             callback = self._commit_callbacks.pop(self.last_applied, None)
             if callback is not None:
                 callback(entry)
+        if self._term_start_waiters and self.term_start_applied:
+            waiters, self._term_start_waiters = self._term_start_waiters, []
+            for waiter in waiters:
+                waiter()
 
 
 class RaftHost(Node):
@@ -543,3 +614,27 @@ class RaftHost(Node):
         """Rejoin every hosted group as a follower."""
         for member in self.members.values():
             member.handle_host_recover()
+
+    def replay_raft_wal(self, records: List[Any]) -> None:
+        """Rebuild every member's persistent state from a WAL image.
+
+        Called during restart, after the members have been re-created
+        fresh (term 0, empty log, no bootstrap).  Records replay in
+        append order: the last :class:`RaftTermRecord` per group wins for
+        currentTerm/votedFor, and :class:`RaftAppendRecord` entries are
+        installed at their carried indexes (truncate-then-append, which
+        subsumes follower conflict truncation).  Commit/apply state stays
+        at zero — it is volatile by Raft's rules and is rebuilt through
+        the normal apply path once a leader's commit index reaches us.
+        """
+        for record in records:
+            if isinstance(record, RaftTermRecord):
+                member = self.members.get(record.group_id)
+                if member is not None:
+                    member.current_term = record.term
+                    member.voted_for = record.voted_for
+            elif isinstance(record, RaftAppendRecord):
+                member = self.members.get(record.group_id)
+                if member is not None:
+                    for entry in record.entries:
+                        member.log.install_at(entry)

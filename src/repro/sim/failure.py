@@ -20,7 +20,7 @@ spans (they accumulate in ``Tracer.orphan_spans``).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.sim.kernel import Kernel
 from repro.sim.network import LinkFaults, Network
@@ -35,6 +35,10 @@ class FailureInjector:
         self.network = network
         #: Log of ``(time_ms, action, subject)`` tuples, for assertions.
         self.log: List[Tuple[float, str, str]] = []
+        #: Times at which a restart is scheduled, per node.  A ``recover_at``
+        #: racing a ``restart_at`` at the same instant yields to the restart
+        #: (see :meth:`recover_at`).
+        self._restart_times: Dict[str, Set[float]] = {}
 
     def _note(self, action: str, subject: str) -> None:
         self.log.append((self.kernel.now, action, subject))
@@ -52,17 +56,43 @@ class FailureInjector:
         self.kernel.schedule_at(at_ms, do_crash)
 
     def recover_at(self, node_id: str, at_ms: float) -> None:
-        """Recover a previously crashed node at ``at_ms``."""
+        """Recover a previously crashed node at ``at_ms``.
+
+        If a ``restart_at`` is scheduled for the same node at the same
+        instant, the restart wins and this recovery is a no-op.  The check
+        is by scheduled *time*, not by firing order, so the outcome is the
+        same whichever event the kernel pops first — exactly one restart,
+        zero plain recoveries.
+        """
         def do_recover():
+            if at_ms in self._restart_times.get(node_id, ()):
+                self._note("recover-superseded", node_id)
+                return
             self.network.node(node_id).recover()
             self._note("recover", node_id)
 
         self.kernel.schedule_at(at_ms, do_recover)
 
+    def restart_at(self, node_id: str, at_ms: float) -> None:
+        """Power-cycle ``node_id`` at ``at_ms``: crash if still up, discard
+        all in-memory state, and re-instantiate from the WAL image."""
+        self._restart_times.setdefault(node_id, set()).add(at_ms)
+
+        def do_restart():
+            self.network.node(node_id).restart()
+            self._note("restart", node_id)
+
+        self.kernel.schedule_at(at_ms, do_restart)
+
     def crash_now(self, node_id: str) -> None:
         """Crash ``node_id`` immediately."""
         self.network.node(node_id).crash()
         self._note("crash", node_id)
+
+    def restart_now(self, node_id: str) -> None:
+        """Power-cycle ``node_id`` immediately (WAL-image restart)."""
+        self.network.node(node_id).restart()
+        self._note("restart", node_id)
 
     def flap_at(self, node_id: str, at_ms: float, period_ms: float,
                 cycles: int) -> None:

@@ -42,6 +42,15 @@ class Node:
         self.crashed = False
         self._busy_until = 0.0
         self.messages_handled = 0
+        #: Incarnation counter: bumped on every crash so timers armed by a
+        #: previous incarnation are dead on arrival after recovery.
+        self.epoch = 0
+        #: How many times this node has been power-cycled (WAL restarts).
+        self.restarts = 0
+        #: Durable write-ahead log, or ``None`` for purely volatile nodes
+        #: (clients, bare test hosts).  Subclasses that support restart
+        #: attach a :class:`repro.wal.log.WriteAheadLog` here.
+        self.wal = None
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -97,10 +106,14 @@ class Node:
                   *args) -> Event:
         """Run ``callback(*args)`` after ``delay_ms`` unless cancelled.
 
-        Timers are suppressed while the node is crashed.
+        Timers are suppressed while the node is crashed, and a timer armed
+        before a crash never fires on the recovered incarnation: the arming
+        epoch is captured here and checked at fire time.
         """
+        epoch = self.epoch
+
         def fire(*fire_args):
-            if not self.crashed:
+            if not self.crashed and self.epoch == epoch:
                 callback(*fire_args)
 
         return self.kernel.schedule(delay_ms, fire, *args)
@@ -109,17 +122,40 @@ class Node:
     # Failure model
     # ------------------------------------------------------------------
     def crash(self) -> None:
-        """Fail-stop: drop all queued work and stop responding."""
+        """Fail-stop: drop all queued work and stop responding.
+
+        Power loss also truncates the WAL to its durable image at this
+        instant — a later :meth:`restart` replays exactly what had been
+        fsynced before the crash.
+        """
         if self.crashed:
             return
         self.crashed = True
+        self.epoch += 1
         self._busy_until = 0.0
+        if self.wal is not None:
+            self.wal.crash(self.kernel.now)
         self.on_crash()
 
     def recover(self) -> None:
-        """Restart the node; volatile state was reset by :meth:`on_crash`."""
+        """Resume the node with its in-memory state intact (fail-stop
+        recovery; volatile state was reset by :meth:`on_crash`)."""
         if not self.crashed:
             return
+        self.crashed = False
+        self.on_recover()
+
+    def restart(self) -> None:
+        """Power-cycle: crash (if not already down), discard ALL in-memory
+        state, and re-instantiate from the WAL image via :meth:`on_restart`
+        before rejoining through the normal :meth:`on_recover` path."""
+        if self.wal is None:
+            raise RuntimeError(
+                f"{self.node_id} has no WAL; restart requires durable state")
+        if not self.crashed:
+            self.crash()
+        self.restarts += 1
+        self.on_restart()
         self.crashed = False
         self.on_recover()
 
@@ -128,6 +164,12 @@ class Node:
 
     def on_recover(self) -> None:
         """Hook for subclasses to restart timers etc. Default: no-op."""
+
+    def on_restart(self) -> None:
+        """Hook: wipe in-memory state and rebuild it from ``self.wal``.
+        Subclasses that attach a WAL must override."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement WAL restart")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.node_id} @{self.dc}>"

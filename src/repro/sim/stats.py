@@ -220,3 +220,18 @@ def link_fault_summary(network) -> List[Tuple[str, str, int, int, int,
         rows.append((src, dst, stats.sent, stats.delivered,
                      stats.dropped, stats.duplicated, stats.delayed))
     return rows
+
+
+def restart_summary(network) -> List[Tuple[str, int]]:
+    """Per-node power-cycle counts, sorted by node id.
+
+    Rows of ``(node_id, restarts)`` for every node that was restarted at
+    least once (``Node.restarts``) — the chaos report's "who got
+    power-cycled" table.  Runs without restarts return an empty list.
+    """
+    rows = []
+    for node_id in sorted(network.nodes):
+        node = network.nodes[node_id]
+        if node.restarts:
+            rows.append((node_id, node.restarts))
+    return rows

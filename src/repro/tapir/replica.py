@@ -27,7 +27,14 @@ from repro.tapir.messages import (
     TapirRead,
     TapirReadReply,
 )
+from repro.trace.tracer import SPAN_RECOVERY
 from repro.txn import TID
+from repro.wal.log import WriteAheadLog
+from repro.wal.records import (
+    TapirFinalizeWal,
+    TapirPrepareWal,
+    TapirResolveWal,
+)
 
 
 class _PreparedTxn:
@@ -70,6 +77,8 @@ class TapirReplica(Node):
         self.resolved: Dict[TID, bool] = {}
         self.prepares_ok = 0
         self.prepares_rejected = 0
+        self.wal = WriteAheadLog(node_id)
+        self.wal.attach_host(self)
 
     def _index_prepared(self, tid: TID, txn: _PreparedTxn) -> None:
         self.prepared[tid] = txn
@@ -165,6 +174,12 @@ class TapirReplica(Node):
             if result == PREPARE_OK:
                 self._index_prepared(tid, _PreparedTxn(
                     msg.read_versions, msg.write_keys))
+                # Journal the OK before it externalizes in our reply: a
+                # restarted replica must still count against later
+                # conflicting prepares (§5.2.1 view-change analogue).
+                self.wal.append(TapirPrepareWal(
+                    tid=tid, read_versions=msg.read_versions,
+                    write_keys=msg.write_keys))
                 self.prepares_ok += 1
             else:
                 self.prepares_rejected += 1
@@ -180,6 +195,7 @@ class TapirReplica(Node):
         """IR slow path: adopt the client's consensus result."""
         tid = msg.tid
         if tid not in self.resolved:
+            self.wal.append(TapirFinalizeWal(tid=tid, result=msg.result))
             if msg.result == PREPARE_OK and tid not in self.prepared:
                 # Adopt the group's decision even though we abstained.
                 self._index_prepared(tid, _PreparedTxn((), ()))
@@ -193,12 +209,64 @@ class TapirReplica(Node):
         tid = msg.tid
         if tid not in self.resolved:
             self.resolved[tid] = msg.commit
+            rows = []
             if msg.commit:
                 for key, value in msg.writes.items():
                     version = msg.write_versions.get(
                         key, self.store.version(key) + 1)
                     self.store.write_if_newer(key, value, version)
+                    rows.append((key, value, version))
+            # Journal the applied outcome (with the resolved versions)
+            # before acking — the ack tells the client this replica is
+            # durable for the transaction.
+            self.wal.append(TapirResolveWal(
+                tid=tid, commit=msg.commit, writes=tuple(sorted(rows))))
             self._drop_prepared(tid)
         self.send(msg.src, TapirCommitAck(
             tid=tid, partition_id=self.partition_id,
             replica_id=self.node_id))
+
+    # ------------------------------------------------------------------
+    # Crash-restart recovery
+    # ------------------------------------------------------------------
+    def on_restart(self) -> None:
+        """Power-cycle recovery: rebuild store, prepared set and resolved
+        outcomes by replaying the WAL in append order.
+
+        Prepare / finalize / resolve records replay through the same
+        adopt-and-drop rules as the live handlers, so the rebuilt state
+        is exactly what a replica that had processed the journaled
+        prefix would hold in RAM.
+        """
+        records = self.wal.replay()
+        self.store = VersionedKVStore()
+        self.prepared = {}
+        self._prepared_readers = {}
+        self._prepared_writers = {}
+        self.resolved = {}
+        for record in records:
+            if isinstance(record, TapirPrepareWal):
+                if record.tid not in self.resolved \
+                        and record.tid not in self.prepared:
+                    self._index_prepared(record.tid, _PreparedTxn(
+                        record.read_versions, record.write_keys))
+            elif isinstance(record, TapirFinalizeWal):
+                if record.tid in self.resolved:
+                    continue
+                if record.result == PREPARE_OK \
+                        and record.tid not in self.prepared:
+                    self._index_prepared(record.tid, _PreparedTxn((), ()))
+                if record.result != PREPARE_OK:
+                    self._drop_prepared(record.tid)
+            elif isinstance(record, TapirResolveWal):
+                self.resolved[record.tid] = record.commit
+                if record.commit:
+                    for key, value, version in record.writes:
+                        self.store.write_if_newer(key, value, version)
+                self._drop_prepared(record.tid)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.point(None, SPAN_RECOVERY, self.node_id, self.dc,
+                         detail=(f"wal-restart records={len(records)} "
+                                 f"prepared={len(self.prepared)} "
+                                 f"resolved={len(self.resolved)}"))

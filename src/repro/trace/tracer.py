@@ -53,6 +53,9 @@ SPAN_RAFT = "raft-replication"
 #: recorded with ``tid=None`` so they land in ``orphan_spans`` and render
 #: alongside — not inside — protocol transactions.
 SPAN_NEMESIS = "nemesis"
+#: Recovery activity: WAL restore after a power cycle and §4.3.3
+#: leader-failover participant recovery; recorded with ``tid=None``.
+SPAN_RECOVERY = "recovery"
 
 
 class TraceCtx:

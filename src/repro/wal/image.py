@@ -1,0 +1,46 @@
+"""Host-side export of a WAL image for offline inspection.
+
+This is an operator/debugging artifact, not part of the simulation: the
+exported document carries a wall-clock ``exported_at`` stamp that is
+never read back into the DES (which is why ``wal/`` sits on the detlint
+wall-clock allowlist alongside ``perf/`` and ``sweep/``).  Records are
+serialized as ``(type, repr)`` rows — enough to diff two images or eyeball
+what survived a crash, without inventing a parallel codec for every
+record type.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Optional
+
+from repro.wal.log import WriteAheadLog
+
+
+def image_document(wal: WriteAheadLog) -> dict:
+    """A JSON-serializable snapshot of the durable image."""
+    return {
+        "owner": wal.owner_id,
+        "exported_at": time.time(),
+        "sync_latency_ms": wal.sync_latency_ms,
+        "torn_tail": wal.torn_tail,
+        "counters": {
+            "appends": wal.appends,
+            "syncs": wal.syncs,
+            "crashes": wal.crashes,
+            "records_lost": wal.records_lost,
+        },
+        "records": [
+            {"type": type(record).__name__, "value": repr(record)}
+            for record in wal.replay()
+        ],
+    }
+
+
+def write_image(wal: WriteAheadLog, path: str, indent: Optional[int] = 2) -> str:
+    """Write the image document to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(image_document(wal), fh, indent=indent, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,139 @@
+"""Deterministic simulated-durable write-ahead log.
+
+The log models a single append-only file per node.  ``append`` adds a
+record to the tail; ``fsync`` issues the records to "disk" — each
+unsynced record gets a ``durable_at`` stamp of *now + sync_latency_ms*.
+A crash at virtual time *t* keeps exactly the records with
+``durable_at <= t``: everything never fsynced is gone, and records whose
+sync was still in flight (stamp in the future) are lost with it.  With
+``torn_tail`` enabled, a crash instead keeps a deterministic *prefix* of
+the in-flight sync window — modelling a partially persisted disk write —
+chosen by a dedicated string-seeded RNG that is drawn only at crash
+time, so fault-free runs never touch it.
+
+Determinism contract: the log never schedules kernel events and never
+draws from the kernel RNG.  Nonzero ``sync_latency_ms`` is charged to
+the host node's CPU-queue model (``_busy_until``), which delays
+*subsequent* work on that node without perturbing the event heap.  At
+the default latency of zero the WAL is entirely passive — a run with it
+enabled is byte-identical (op counters and all) to one without.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Optional
+
+_NEVER = math.inf
+
+
+class WriteAheadLog:
+    """Append/fsync record journal with crash truncation and replay."""
+
+    def __init__(
+        self,
+        owner_id: str,
+        clock: Optional[Callable[[], float]] = None,
+        sync_latency_ms: float = 0.0,
+        torn_tail: bool = False,
+    ) -> None:
+        self.owner_id = owner_id
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.sync_latency_ms = sync_latency_ms
+        self.torn_tail = torn_tail
+        # Dedicated stream, string-seeded per owner, drawn only inside
+        # crash() — never on the fault-free path, never the kernel RNG.
+        self._torn_rng = random.Random(f"wal-torn:{owner_id}")  # detlint: ignore[unseeded-random]
+        self._host = None  # sim.node.Node to bill fsync latency to
+        self._records: List[object] = []
+        self._durable_at: List[float] = []
+        self.appends = 0
+        self.syncs = 0
+        self.crashes = 0
+        self.records_lost = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_host(self, node) -> None:
+        """Bill fsync latency to ``node``'s CPU queue and read its clock."""
+        self._host = node
+        self._clock = lambda: node.kernel.now
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def unsynced(self) -> int:
+        """Records appended but not yet issued to disk."""
+        return sum(1 for stamp in self._durable_at if stamp == _NEVER)
+
+    # -- append / fsync ----------------------------------------------------
+
+    def append(self, record, sync: bool = True) -> None:
+        """Append ``record`` to the tail; fsync immediately by default."""
+        self._records.append(record)
+        self._durable_at.append(_NEVER)
+        self.appends += 1
+        if sync:
+            self.fsync()
+
+    def fsync(self) -> int:
+        """Issue every unsynced record to disk; return how many."""
+        stamped = 0
+        durable_at = self._clock() + self.sync_latency_ms
+        for i in range(len(self._durable_at) - 1, -1, -1):
+            if self._durable_at[i] != _NEVER:
+                break
+            self._durable_at[i] = durable_at
+            stamped += 1
+        if stamped:
+            self.syncs += 1
+            if self.sync_latency_ms > 0.0 and self._host is not None:
+                # Charge the sync to the node's CPU queue: work enqueued
+                # after this fsync starts no earlier than its completion.
+                host = self._host
+                host._busy_until = (
+                    max(host.kernel.now, host._busy_until) + self.sync_latency_ms
+                )
+        return stamped
+
+    # -- crash / replay ----------------------------------------------------
+
+    def crash(self, now: Optional[float] = None) -> int:
+        """Power loss at virtual time ``now``: truncate to the durable image.
+
+        Returns the number of records lost.  Unsynced records are always
+        lost.  Records whose fsync was still in flight (``durable_at``
+        in the future) are lost wholesale, or — with ``torn_tail`` — cut
+        at a deterministic prefix point drawn from the torn-tail RNG.
+        """
+        if now is None:
+            now = self._clock()
+        self.crashes += 1
+        keep = len(self._records)
+        while keep > 0 and self._durable_at[keep - 1] > now:
+            keep -= 1
+        if self.torn_tail:
+            # The in-flight window is the contiguous run of records with a
+            # finite future stamp; a torn write persists some prefix of it.
+            inflight_end = keep
+            while (
+                inflight_end < len(self._records)
+                and self._durable_at[inflight_end] != _NEVER
+            ):
+                inflight_end += 1
+            window = inflight_end - keep
+            if window > 0:
+                keep += self._torn_rng.randint(0, window)
+        lost = len(self._records) - keep
+        del self._records[keep:]
+        del self._durable_at[keep:]
+        self.records_lost += lost
+        return lost
+
+    def replay(self) -> List[object]:
+        """The durable image, in append order."""
+        return list(self._records)

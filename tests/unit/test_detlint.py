@@ -292,6 +292,31 @@ def test_wallclock_and_getpid_allowed_in_sweep():
     assert codes(src, path="src/repro/sweep/executor.py") == []
 
 
+def test_wallclock_allowed_in_wal():
+    # wal/image.py stamps exported images with wall-clock time; the
+    # stamp is an operator artifact that is never read back into the DES.
+    src = """
+    import time
+
+    def export(self):
+        return time.time()
+    """
+    assert codes(src, path="src/repro/wal/image.py") == []
+
+
+def test_wallclock_still_flagged_next_to_wal():
+    # The allowlist covers wal/ itself, not its consumers.
+    src = """
+    import time
+
+    def stamp(self):
+        return time.perf_counter()
+    """
+    for path in ("src/repro/raft/node.py", "src/repro/sim/node.py",
+                 "src/repro/chaos/runner.py"):
+        assert codes(src, path=path) == ["DL003"]
+
+
 def test_wallclock_still_flagged_in_protocol_code():
     src = """
     import time
