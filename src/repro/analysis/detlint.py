@@ -128,14 +128,20 @@ class LintConfig:
     # simulation — every worker runs a fresh, fully-seeded kernel.
     # wal/ exports WAL images as host-side debugging artifacts whose
     # export timestamp is never read back into the DES (the log itself
-    # runs purely on virtual time).
+    # runs purely on virtual time).  runtime/ is the asyncio/TCP
+    # backend: the wall clock *is* its kernel.now and sockets are its
+    # network, so time sources there are the design, not a leak — the
+    # differential conformance harness (runtime/conformance.py) is what
+    # keeps its behaviour honest against the DES.
     wallclock_allowed: Tuple[str, ...] = ("bench/", "perf/", "sweep/",
-                                          "wal/")
+                                          "wal/", "runtime/")
     # chaos/ generates nemesis schedules and workload plans from RNGs
     # string-seeded by the run seed before the simulation starts, the
-    # same pattern as workloads/.
+    # same pattern as workloads/.  runtime/ string-seeds one RNG per
+    # logical process (`Random(f"{proc}:{seed}")`) and its conformance
+    # plans (`Random(f"conform:{seed}")`) the same way.
     random_allowed: Tuple[str, ...] = ("sim/kernel.py", "workloads/",
-                                       "chaos/")
+                                       "chaos/", "runtime/")
 
 
 def _path_allowed(path: str, fragments: Sequence[str]) -> bool:

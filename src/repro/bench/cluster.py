@@ -16,8 +16,7 @@ from typing import Any, Dict, List, Optional
 from repro.core.client import CarouselClient
 from repro.core.config import CarouselConfig
 from repro.core.server import CarouselServer
-from repro.sim.kernel import Kernel
-from repro.sim.network import Network
+from repro.runtime.des import DesRuntime
 from repro.sim.topology import Topology, ec2_five_regions
 from repro.store.directory import DirectoryService, PartitionInfo
 from repro.store.partitioning import ConsistentHashRing
@@ -60,14 +59,25 @@ class DeploymentSpec:
 
 
 class _BaseCluster:
-    """Common plumbing for Carousel and TAPIR deployments."""
+    """Common plumbing for Carousel and TAPIR deployments.
 
-    def __init__(self, spec: DeploymentSpec):
+    ``runtime`` selects the execution backend (:mod:`repro.runtime`).
+    ``None`` builds the discrete-event runtime exactly as this module
+    always has — same kernel, same network, same RNG stream.  Passing an
+    :class:`~repro.runtime.aio.AioRuntime` builds only the nodes this
+    process hosts (the transport's ``claim`` decides placement) against
+    real sockets; the runtime's topology must match ``spec.topology``.
+    """
+
+    def __init__(self, spec: DeploymentSpec, runtime=None):
         self.spec = spec
-        self.kernel = Kernel(seed=spec.seed)
-        self.topology = spec.topology
-        self.network = Network(self.kernel, self.topology,
-                               jitter_fraction=spec.jitter_fraction)
+        if runtime is None:
+            runtime = DesRuntime(seed=spec.seed, topology=spec.topology,
+                                 jitter_fraction=spec.jitter_fraction)
+        self.runtime = runtime
+        self.kernel = runtime.kernel
+        self.network = runtime.network
+        self.topology = self.network.topology
         self.directory = DirectoryService()
         self.partition_ids = [f"p{i}" for i in range(spec.n_partitions)]
         self.ring = ConsistentHashRing(self.partition_ids)
@@ -97,8 +107,8 @@ class CarouselCluster(_BaseCluster):
 
     def __init__(self, spec: Optional[DeploymentSpec] = None,
                  config: Optional[CarouselConfig] = None,
-                 result_hook=None):
-        super().__init__(spec or DeploymentSpec())
+                 result_hook=None, runtime=None):
+        super().__init__(spec or DeploymentSpec(), runtime=runtime)
         self.config = config or CarouselConfig()
         self.servers: Dict[str, CarouselServer] = {}
         self._build_servers()
@@ -130,7 +140,8 @@ class CarouselCluster(_BaseCluster):
                 else:
                     server_id = self._server_id(dc, slots[dc])
                     slots[dc] += 1
-                if server_id not in self.servers:
+                if server_id not in self.servers and \
+                        self.network.claim(server_id, "server", dc):
                     self.servers[server_id] = CarouselServer(
                         server_id, dc, self.kernel, self.network,
                         self.directory, self.config,
@@ -142,16 +153,20 @@ class CarouselCluster(_BaseCluster):
                 datacenters=list(placement), leader=ids[0]))
         for pid, __ in groups:
             for server_id in replica_ids[pid]:
-                self.servers[server_id].add_partition(
-                    pid, replica_ids[pid],
-                    bootstrap_leader=replica_ids[pid][0])
+                if server_id in self.servers:
+                    self.servers[server_id].add_partition(
+                        pid, replica_ids[pid],
+                        bootstrap_leader=replica_ids[pid][0])
 
     def _build_clients(self, result_hook) -> None:
         for dc in self.topology.datacenters:
             per_dc = []
             for i in range(self.spec.clients_per_dc):
+                client_id = f"client-{dc}-{i}"
+                if not self.network.claim(client_id, "client", dc):
+                    continue
                 client = CarouselClient(
-                    f"client-{dc}-{i}", dc, self.kernel, self.network,
+                    client_id, dc, self.kernel, self.network,
                     self.directory, self.ring, self.config,
                     result_hook=result_hook)
                 per_dc.append(client)
@@ -196,11 +211,12 @@ class LayeredCluster(_BaseCluster):
     :mod:`repro.layered`)."""
 
     def __init__(self, spec: Optional[DeploymentSpec] = None,
-                 raft_config=None, retry_policy=None, result_hook=None):
+                 raft_config=None, retry_policy=None, result_hook=None,
+                 runtime=None):
         from repro.layered.client import LayeredClient
         from repro.layered.server import LayeredServer
 
-        super().__init__(spec or DeploymentSpec())
+        super().__init__(spec or DeploymentSpec(), runtime=runtime)
         self.retry_policy = retry_policy
         self.servers: Dict[str, LayeredServer] = {}
         slots: Dict[str, int] = {dc: 0 for dc in self.topology.datacenters}
@@ -210,7 +226,8 @@ class LayeredCluster(_BaseCluster):
             for dc in self.placement(i):
                 server_id = f"lds-{dc}-{slots[dc]}"
                 slots[dc] += 1
-                if server_id not in self.servers:
+                if server_id not in self.servers and \
+                        self.network.claim(server_id, "server", dc):
                     self.servers[server_id] = LayeredServer(
                         server_id, dc, self.kernel, self.network,
                         self.directory, raft_config=raft_config,
@@ -224,14 +241,18 @@ class LayeredCluster(_BaseCluster):
                 leader=ids[0]))
         for pid in self.partition_ids:
             for server_id in replica_ids[pid]:
-                self.servers[server_id].add_partition(
-                    pid, replica_ids[pid],
-                    bootstrap_leader=replica_ids[pid][0])
+                if server_id in self.servers:
+                    self.servers[server_id].add_partition(
+                        pid, replica_ids[pid],
+                        bootstrap_leader=replica_ids[pid][0])
         for dc in self.topology.datacenters:
             per_dc = []
             for i in range(self.spec.clients_per_dc):
+                client_id = f"client-{dc}-{i}"
+                if not self.network.claim(client_id, "client", dc):
+                    continue
                 client = LayeredClient(
-                    f"client-{dc}-{i}", dc, self.kernel, self.network,
+                    client_id, dc, self.kernel, self.network,
                     self.directory, self.ring,
                     retry_policy=retry_policy, result_hook=result_hook)
                 per_dc.append(client)
@@ -264,12 +285,12 @@ class TapirCluster(_BaseCluster):
     circular import; see :mod:`repro.tapir`)."""
 
     def __init__(self, spec: Optional[DeploymentSpec] = None,
-                 config=None, result_hook=None):
+                 config=None, result_hook=None, runtime=None):
         from repro.tapir.config import TapirConfig
         from repro.tapir.replica import TapirReplica
         from repro.tapir.client import TapirClient
 
-        super().__init__(spec or DeploymentSpec())
+        super().__init__(spec or DeploymentSpec(), runtime=runtime)
         self.config = config or TapirConfig()
         self.replicas: Dict[str, TapirReplica] = {}
         for i, pid in enumerate(self.partition_ids):
@@ -282,6 +303,8 @@ class TapirCluster(_BaseCluster):
                 partition_id=pid, replicas=ids, datacenters=dcs,
                 leader=ids[0]))
             for replica_id, dc in zip(ids, dcs):
+                if not self.network.claim(replica_id, "server", dc):
+                    continue
                 self.replicas[replica_id] = TapirReplica(
                     replica_id, dc, self.kernel, self.network,
                     pid, ids, self.config,
@@ -289,8 +312,11 @@ class TapirCluster(_BaseCluster):
         for dc in self.topology.datacenters:
             per_dc = []
             for i in range(self.spec.clients_per_dc):
+                client_id = f"client-{dc}-{i}"
+                if not self.network.claim(client_id, "client", dc):
+                    continue
                 client = TapirClient(
-                    f"client-{dc}-{i}", dc, self.kernel, self.network,
+                    client_id, dc, self.kernel, self.network,
                     self.directory, self.ring, self.config,
                     result_hook=result_hook)
                 per_dc.append(client)

@@ -241,7 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
                "protolint (protocol-conformance analyzer), "
                "divergence (dual-run hash-seed check), "
                "chaos (nemesis harness), "
-               "perf (benchmarks and regression tracking) — "
+               "perf (benchmarks and regression tracking), "
+               "conform (DES vs asyncio/TCP differential), "
+               "cluster (multi-process localhost deployment), "
+               "serve (one process of a cluster) — "
                "run `python -m repro <verb> --help` for each")
     parser.add_argument("experiment", choices=sorted(COMMANDS),
                         help="which table/figure to regenerate")
@@ -287,6 +290,10 @@ def main(argv=None) -> int:
         # Benchmarks and perf-regression tracking live in repro.perf.
         from repro.perf.cli import main as perf_main
         return perf_main(argv)
+    if argv and argv[0] in ("serve", "cluster", "conform"):
+        # Runtime backends and conformance live in repro.runtime.
+        from repro.runtime.cli import main as runtime_main
+        return runtime_main(argv)
     args = build_parser().parse_args(argv)
     args._sweep_cache = None
     args._executor = _build_executor(args)

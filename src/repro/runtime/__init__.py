@@ -1,0 +1,44 @@
+"""Pluggable runtime: the same protocol code on simulated or real I/O.
+
+The protocol classes in :mod:`repro.core`, :mod:`repro.layered`,
+:mod:`repro.tapir`, and :mod:`repro.raft` consume a deliberately narrow
+runtime surface — a clock, one seeded RNG, one-shot timers, ``send``, and
+``spawn`` (see :mod:`repro.runtime.api`).  This package pins that surface
+down as an explicit interface and provides two backends:
+
+* ``des`` (:mod:`repro.runtime.des`) — the existing discrete-event
+  kernel and simulated network, byte-identical to constructing
+  :class:`~repro.sim.kernel.Kernel` and :class:`~repro.sim.network.Network`
+  directly;
+* ``asyncio`` (:mod:`repro.runtime.aio`) — a wall-clock kernel over an
+  asyncio event loop and a TCP transport with a length-prefixed wire
+  codec (:mod:`repro.runtime.wire`), so the exact same coordinator,
+  participant, replica, and Raft classes serve real traffic on a
+  localhost cluster (``python -m repro serve`` / ``cluster``).
+
+The DES backend remains the fast deterministic oracle for the production
+path: :mod:`repro.runtime.conformance` drives an identical seeded
+workload through both backends and asserts they agree on every
+transaction decision, on the final replicated state, and on the shape of
+the wire traffic (``python -m repro conform``).
+"""
+
+from repro.runtime.api import (
+    BACKENDS,
+    KERNEL_ATTRS,
+    TRANSPORT_ATTRS,
+    Runtime,
+    missing_kernel_attrs,
+    missing_transport_attrs,
+)
+from repro.runtime.des import DesRuntime
+
+__all__ = [
+    "BACKENDS",
+    "KERNEL_ATTRS",
+    "TRANSPORT_ATTRS",
+    "Runtime",
+    "DesRuntime",
+    "missing_kernel_attrs",
+    "missing_transport_attrs",
+]

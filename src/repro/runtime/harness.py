@@ -1,0 +1,243 @@
+"""Cluster snapshots and control frames for the asyncio deployments.
+
+Two concerns live here because they share the wire codec:
+
+* **Snapshots** — a serializable view of one process's replicated state
+  (per-partition store contents and resolved-outcome maps) plus its
+  transport counters.  :func:`snapshot_cluster` extracts one from a live
+  cluster object; :class:`SnapshotAdapter` replays the merged snapshots
+  through the *same* oracle functions the chaos harness uses
+  (:func:`repro.chaos.oracles.check_stores` / ``check_decisions``), so
+  the conformance verdict reuses the battle-tested value-parity logic
+  instead of reimplementing it.
+
+* **Control frames** — the tiny orchestration vocabulary of the
+  multi-process cluster (``python -m repro cluster``): address-table
+  distribution, snapshot request/reply, readiness, shutdown.  Control
+  dataclasses are deliberately **not** ``Message`` subclasses: they are
+  runtime plumbing, not protocol traffic, so the static message graph
+  (:mod:`repro.analysis.msggraph`) and ``PROTOCOL.md`` stay untouched.
+  On the wire they are framed like messages but open with ``{"c":``
+  instead of ``{"t":``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.wire import (
+    WireError,
+    decode_value,
+    encode_value,
+    register_extra,
+)
+
+# ---------------------------------------------------------------------------
+# Control frames
+# ---------------------------------------------------------------------------
+
+
+@register_extra
+@dataclass
+class CtlPeers:
+    """Driver -> serve: the full ``proc -> (host, port)`` address table."""
+
+    addresses: dict = field(default_factory=dict)
+
+
+@register_extra
+@dataclass
+class CtlSnapshotRequest:
+    """Driver -> serve: reply with your cluster snapshot."""
+
+    reply_to: str = "driver"
+
+
+@register_extra
+@dataclass
+class CtlSnapshotReply:
+    """Serve -> driver: one process's :func:`snapshot_cluster` result."""
+
+    proc: str = ""
+    snapshot: dict = field(default_factory=dict)
+
+
+@register_extra
+@dataclass
+class CtlShutdown:
+    """Driver -> serve: tear down and exit."""
+
+    reason: str = "done"
+
+
+_CONTROL_PREFIX = b'{"c":'
+
+
+def encode_control(ctl: Any) -> bytes:
+    """Serialize a control dataclass (framing is the caller's job)."""
+    payload = encode_value(ctl)
+    if not (isinstance(payload, dict) and "__dc" in payload):
+        raise WireError(f"not a registered control dataclass: {ctl!r}")
+    envelope = {"c": payload["__dc"], "f": payload["f"]}
+    return json.dumps(envelope, separators=(",", ":"),
+                      allow_nan=False).encode("utf-8")
+
+
+def is_control(data: bytes) -> bool:
+    """Whether a frame is a control frame (vs. a protocol message)."""
+    return data.startswith(_CONTROL_PREFIX)
+
+
+def decode_control(data: bytes) -> Any:
+    """Inverse of :func:`encode_control`."""
+    try:
+        envelope = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed control frame: {exc}") from None
+    if not isinstance(envelope, dict) or "c" not in envelope:
+        raise WireError("control frame has no type")
+    return decode_value({"__dc": envelope["c"], "f": envelope.get("f", {})})
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+
+def _store_contents(store) -> Dict[str, Tuple[Any, int]]:
+    return {key: (record.value, record.version)
+            for key, record in sorted(store.items())}
+
+
+def snapshot_cluster(system: str, cluster: Any) -> dict:
+    """Serializable replicated state of this process's share of ``cluster``.
+
+    Shape (all wire-encodable)::
+
+        {"stores":   {node_id: {pid: {key: (value, version)}}},
+         "resolved": {node_id: {pid: {TID: "commit"|"abort"}}},
+         "sent_by_type": {message_type: count}}
+    """
+    stores: Dict[str, dict] = {}
+    resolved: Dict[str, dict] = {}
+    if system == "tapir":
+        for node_id, replica in sorted(cluster.replicas.items()):
+            pid = replica.partition_id
+            stores[node_id] = {pid: _store_contents(replica.store)}
+            resolved[node_id] = {pid: {
+                tid: ("commit" if ok else "abort")
+                for tid, ok in replica.resolved.items()}}
+    else:
+        for node_id, server in sorted(cluster.servers.items()):
+            stores[node_id] = {}
+            resolved[node_id] = {}
+            for pid, part in sorted(server.partitions.items()):
+                stores[node_id][pid] = _store_contents(part.store)
+                resolved[node_id][pid] = dict(part.resolved)
+    network = cluster.network
+    return {
+        "stores": stores,
+        "resolved": resolved,
+        "sent_by_type": dict(getattr(network, "sent_by_type", {})),
+    }
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Union the per-process snapshots of one deployment."""
+    merged: dict = {"stores": {}, "resolved": {}, "sent_by_type": {}}
+    for snap in snapshots:
+        for node_id, by_pid in snap.get("stores", {}).items():
+            merged["stores"][node_id] = by_pid
+        for node_id, by_pid in snap.get("resolved", {}).items():
+            merged["resolved"][node_id] = by_pid
+        for name, count in snap.get("sent_by_type", {}).items():
+            merged["sent_by_type"][name] = \
+                merged["sent_by_type"].get(name, 0) + count
+    return merged
+
+
+class _SnapshotRecord:
+    """Duck-typed :class:`repro.store.kvstore.Record`."""
+
+    __slots__ = ("value", "version")
+
+    def __init__(self, value: Any, version: int):
+        self.value = value
+        self.version = version
+
+
+class _SnapshotStore:
+    """Duck-typed read-only store over snapshotted ``{key: (v, ver)}``."""
+
+    def __init__(self, contents: Dict[str, Tuple[Any, int]]):
+        self._contents = contents
+
+    def read(self, key: str) -> _SnapshotRecord:
+        value, version = self._contents.get(key, (None, 0))
+        return _SnapshotRecord(value, version)
+
+
+class SnapshotAdapter:
+    """The oracle-facing adapter interface of
+    :class:`repro.chaos.runner.ClusterAdapter`, backed by a merged
+    snapshot instead of live cluster objects.
+
+    ``ring``/``directory`` come from any process's cluster build — the
+    builders populate them identically everywhere.  ``clients`` are the
+    driver's live client objects (the driver hosts every client, so the
+    liveness-side accessors need no snapshotting).
+    """
+
+    def __init__(self, merged: dict, ring: Any, directory: Any,
+                 partition_ids: Sequence[str],
+                 clients: Optional[Sequence[Any]] = None):
+        self.merged = merged
+        self.ring = ring
+        self.directory = directory
+        self.partition_ids = list(partition_ids)
+        self._clients = list(clients or [])
+
+    def clients(self) -> List[Any]:
+        """All workload clients, construction order."""
+        return list(self._clients)
+
+    def client_pending(self, client: Any) -> int:
+        """Transactions this client still has in flight (or queued)."""
+        pending = len(client._active)
+        pending += len(getattr(client, "_queued", ()))
+        return pending
+
+    def client_quiesced(self, client: Any) -> bool:
+        """No active/queued work and no unacknowledged commit rounds."""
+        if self.client_pending(client):
+            return False
+        return not getattr(client, "_commit_acks_pending", None)
+
+    def partitions_for(self, keys: Sequence[str]) -> List[str]:
+        """Sorted partition ids holding ``keys``."""
+        return sorted({self.ring.partition_for(k) for k in keys})
+
+    def stores_for_key(self, key: str) -> List[Tuple[str, Any]]:
+        """``(node_id, store)`` for every replica of ``key``."""
+        pid = self.ring.partition_for(key)
+        out = []
+        for node_id in self.directory.lookup(pid).replicas:
+            contents = self.merged["stores"].get(node_id, {}).get(pid, {})
+            out.append((node_id, _SnapshotStore(contents)))
+        return out
+
+    def resolved_for_pid(self, pid: str) -> List[Tuple[str, Dict]]:
+        """``(location, {tid: decision})`` per replica of ``pid``."""
+        out = []
+        for node_id in self.directory.lookup(pid).replicas:
+            resolved = self.merged["resolved"].get(node_id, {}).get(pid, {})
+            out.append((f"{node_id}/{pid}", resolved))
+        return out
+
+    def resolved_maps(self) -> List[Tuple[str, Dict]]:
+        """Resolved-outcome maps for every replica of every partition."""
+        out = []
+        for pid in self.partition_ids:
+            out.extend(self.resolved_for_pid(pid))
+        return out

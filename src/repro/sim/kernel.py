@@ -224,6 +224,12 @@ class Kernel:
         """Schedule ``callback(*args)`` at an absolute virtual time."""
         return self.schedule(time - self._now, callback, *args)
 
+    def spawn(self, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run as soon as possible (a
+        zero-delay event; part of the runtime interface, see
+        :data:`repro.runtime.api.KERNEL_ATTRS`)."""
+        return self.schedule(0.0, callback, *args)
+
     def stop(self) -> None:
         """Make :meth:`run` return after the current event completes."""
         self._stopped = True

@@ -176,6 +176,19 @@ class Network:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
+    def claim(self, node_id: str, kind: str, dc: str) -> bool:
+        """Placement hook of the runtime interface
+        (:data:`repro.runtime.api.TRANSPORT_ATTRS`): deployment builders
+        ask which logical process hosts ``node_id`` before constructing
+        it.  The simulated network is single-process, so it hosts
+        everything."""
+        return True
+
+    def hosts(self, node_id: str) -> bool:
+        """Whether this transport hosts ``node_id`` (always, for the
+        single-process simulated network)."""
+        return True
+
     def register(self, node: "Node") -> None:
         """Attach a node to the network. Node ids must be unique."""
         if node.node_id in self.nodes:

@@ -1,0 +1,37 @@
+"""Shared pytest configuration: opt-in gates for the marked tests.
+
+Tier-1 (``pytest -x -q``) must stay fast and fully deterministic, so
+tests that bind sockets for real-time differential runs (``cluster``)
+or simply take long (``slow``) are skipped unless explicitly enabled:
+
+    pytest --run-cluster          # localhost TCP conformance runs
+    pytest --run-slow             # long-running tests
+    pytest --run-cluster --run-slow   # everything
+
+The markers themselves are declared in ``pyproject.toml``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow", action="store_true", default=False,
+        help="run tests marked slow (long-running)")
+    parser.addoption(
+        "--run-cluster", action="store_true", default=False,
+        help="run tests marked cluster (localhost TCP / OS processes)")
+
+
+def pytest_collection_modifyitems(config, items):
+    gates = [
+        ("slow", "--run-slow"),
+        ("cluster", "--run-cluster"),
+    ]
+    for marker, flag in gates:
+        if config.getoption(flag):
+            continue
+        skip = pytest.mark.skip(reason=f"{marker} test: pass {flag}")
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)

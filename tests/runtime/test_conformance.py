@@ -1,0 +1,143 @@
+"""The DES-differential conformance harness.
+
+The unmarked tests cover the harness's pure pieces (plan generation,
+count reconciliation, snapshot merging) and the DES side alone — fast
+and fully deterministic, so they run in tier-1.  The full differential
+runs (DES *and* asyncio/TCP over localhost sockets, wall-clock settle
+times) are real-time tests and sit behind the ``cluster`` marker:
+
+    pytest tests/runtime/test_conformance.py --run-cluster
+"""
+
+import pytest
+
+from repro.runtime.conformance import (
+    SYSTEM_PROTOCOLS,
+    SYSTEMS,
+    TIME_DRIVEN,
+    ConformanceOptions,
+    ConformanceResult,
+    build_conformance_plan,
+    reconcile_counts,
+    run_conformance,
+    run_des_side,
+)
+from repro.runtime.harness import merge_snapshots
+
+_FAST = ConformanceOptions(rounds=8)
+
+
+# ----------------------------------------------------------------------
+# Pure pieces (tier-1)
+# ----------------------------------------------------------------------
+
+class TestPlan:
+    def test_plan_is_seed_deterministic(self):
+        keys = ["wk0", "wk1", "wk2", "wk3"]
+        a = build_conformance_plan(5, _FAST, 5, keys)
+        b = build_conformance_plan(5, _FAST, 5, keys)
+        c = build_conformance_plan(6, _FAST, 5, keys)
+        assert a == b
+        assert a != c
+        assert len(a) == _FAST.rounds
+
+    def test_plan_rows_are_valid(self):
+        keys = ["wk0", "wk1"]
+        for client, picked in build_conformance_plan(0, _FAST, 3, keys):
+            assert 0 <= client < 3
+            assert 1 <= len(picked) <= 2
+            assert set(picked) <= set(keys)
+            assert picked == tuple(sorted(picked))
+
+
+class TestReconcileCounts:
+    def test_equal_request_driven_counts_pass(self):
+        counts = {"CommitRequest": 8, "TxnReply": 8, "AppendEntries": 100}
+        other = dict(counts, AppendEntries=999)  # time-driven: exempt
+        assert reconcile_counts("carousel-fast", counts, other) == []
+
+    def test_request_driven_mismatch_is_a_violation(self):
+        des = {"CommitRequest": 8}
+        aio = {"CommitRequest": 9}
+        violations = reconcile_counts("carousel-fast", des, aio)
+        assert any("CommitRequest" in v for v in violations)
+
+    def test_foreign_protocol_traffic_is_a_violation(self):
+        # A tapir run must never emit carousel message types.
+        violations = reconcile_counts("tapir", {"CommitRequest": 1},
+                                      {"CommitRequest": 1})
+        assert violations
+
+    def test_unknown_message_type_is_a_violation(self):
+        violations = reconcile_counts("carousel-fast",
+                                      {"NotARealMessage": 1},
+                                      {"NotARealMessage": 1})
+        assert violations
+
+    def test_time_driven_set_is_request_independent(self):
+        assert "AppendEntries" in TIME_DRIVEN
+        assert "ClientHeartbeat" in TIME_DRIVEN
+        assert "CommitRequest" not in TIME_DRIVEN
+        assert set(SYSTEM_PROTOCOLS) == set(SYSTEMS)
+
+
+class TestMergeSnapshots:
+    def test_union_and_counter_sum(self):
+        a = {"stores": {"n1": {"p0": {"k": ("v", 1)}}},
+             "resolved": {"n1": {"p0": {}}},
+             "sent_by_type": {"TxnReply": 2}}
+        b = {"stores": {"n2": {"p0": {"k": ("v", 1)}}},
+             "resolved": {"n2": {"p0": {}}},
+             "sent_by_type": {"TxnReply": 3, "CommitRequest": 1}}
+        merged = merge_snapshots([a, b])
+        assert set(merged["stores"]) == {"n1", "n2"}
+        assert merged["sent_by_type"] == {"TxnReply": 5, "CommitRequest": 1}
+
+
+class TestDesSide:
+    def test_des_side_is_reproducible(self):
+        keys = [f"wk{i}" for i in range(_FAST.n_keys)]
+        plan = build_conformance_plan(0, _FAST, 5, keys)
+        snaps = []
+        for __ in range(2):
+            __, results, snapshot, violations = run_des_side(
+                "carousel-fast", 0, _FAST, plan)
+            assert violations == []
+            assert len(results) == len(plan)
+            snaps.append(snapshot)
+        assert snaps[0] == snaps[1]
+
+    def test_result_ok_reflects_violations(self):
+        good = ConformanceResult(system="tapir", seed=0)
+        bad = ConformanceResult(system="tapir", seed=0,
+                                violations=["boom"])
+        assert good.ok and not bad.ok
+
+
+# ----------------------------------------------------------------------
+# Full differential runs (localhost TCP; opt in with --run-cluster)
+# ----------------------------------------------------------------------
+
+@pytest.mark.cluster
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_differential_conformance(system):
+    """Same seeded plan through both backends: same decisions, same
+    final replicated state, reconciled message counts."""
+    result = run_conformance(system, 0, ConformanceOptions(rounds=8))
+    assert result.ok, "\n".join(result.violations)
+    assert result.rounds == 8
+    assert result.committed + result.aborted == 8
+    assert result.counts_des and result.counts_aio
+
+
+@pytest.mark.cluster
+@pytest.mark.slow
+def test_multiprocess_cluster_smoke():
+    """One OS process per datacenter, driven over control frames, held
+    to the same differential evaluation."""
+    from repro.runtime.serve import run_cluster
+
+    result = run_cluster("carousel-fast", 0,
+                         opts=ConformanceOptions(rounds=5))
+    assert result.ok, "\n".join(result.violations)
+    assert result.committed + result.aborted == 5

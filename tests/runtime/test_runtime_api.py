@@ -1,0 +1,125 @@
+"""Interface-drift tests for the pluggable runtime.
+
+Both backends — the DES kernel/network and the asyncio/TCP kernel/
+transport — must expose the attribute surfaces in
+:mod:`repro.runtime.api`.  These tests run the drift validators against
+real instances of each, so adding a method to one backend without the
+other fails here instead of failing deep inside a conformance run.
+"""
+
+import asyncio
+
+from repro.runtime.api import (
+    BACKENDS,
+    KERNEL_ATTRS,
+    TRANSPORT_ATTRS,
+    missing_kernel_attrs,
+    missing_transport_attrs,
+)
+from repro.runtime.des import DesRuntime
+from repro.sim.topology import ec2_five_regions
+
+
+def _aio_runtime(loop):
+    from repro.runtime.aio import AioRuntime
+    return AioRuntime("driver", seed=0, topology=ec2_five_regions(),
+                      loop=loop)
+
+
+class TestInterfaceDrift:
+    def test_des_backend_satisfies_both_surfaces(self):
+        runtime = DesRuntime(seed=0, topology=ec2_five_regions())
+        assert missing_kernel_attrs(runtime.kernel) == []
+        assert missing_transport_attrs(runtime.network) == []
+
+    def test_aio_backend_satisfies_both_surfaces(self):
+        loop = asyncio.new_event_loop()
+        try:
+            runtime = _aio_runtime(loop)
+            assert missing_kernel_attrs(runtime.kernel) == []
+            assert missing_transport_attrs(runtime.network) == []
+        finally:
+            loop.close()
+
+    def test_validators_report_what_is_missing(self):
+        class Hollow:
+            pass
+
+        assert missing_kernel_attrs(Hollow()) == list(KERNEL_ATTRS)
+        assert missing_transport_attrs(Hollow()) == list(TRANSPORT_ATTRS)
+
+    def test_backend_names(self):
+        assert BACKENDS == ("des", "asyncio")
+        assert DesRuntime(seed=0,
+                          topology=ec2_five_regions()).backend == "des"
+        loop = asyncio.new_event_loop()
+        try:
+            assert _aio_runtime(loop).backend == "asyncio"
+        finally:
+            loop.close()
+
+
+class TestDesRuntimeEquivalence:
+    """DesRuntime must build the identical kernel/network the benchmark
+    clusters always built directly — that is what keeps BENCH op
+    counters byte-identical after the refactor."""
+
+    def test_kernel_and_network_construction(self):
+        topology = ec2_five_regions()
+        runtime = DesRuntime(seed=7, topology=topology,
+                             jitter_fraction=0.02)
+        assert runtime.kernel.seed == 7
+        assert runtime.network.topology is topology
+        assert runtime.network.jitter_fraction == 0.02
+
+    def test_sim_claim_and_hosts_accept_everything(self):
+        # The single-process DES network hosts every node; the claim/
+        # hosts placement hooks must be unconditional no-ops there.
+        runtime = DesRuntime(seed=0, topology=ec2_five_regions())
+        assert runtime.network.claim("n1", "server", "oregon") is True
+        assert runtime.network.claim("c1", "client", "tokyo") is True
+        assert runtime.network.hosts("anything") is True
+
+    def test_spawn_is_a_zero_delay_event(self):
+        runtime = DesRuntime(seed=0, topology=ec2_five_regions())
+        kernel = runtime.kernel
+        fired = []
+        kernel.spawn(lambda: fired.append(kernel.now))
+        kernel.run()
+        assert fired == [0.0]
+        assert kernel.events_executed == 1
+
+
+class TestAioKernel:
+    def test_timer_counters_and_cancel(self):
+        async def scenario():
+            from repro.runtime.aio import AioKernel
+            kernel = AioKernel(seed=0, loop=asyncio.get_running_loop())
+            fired = []
+            kernel.schedule(1.0, fired.append, "a")
+            doomed = kernel.schedule(1.0, fired.append, "b")
+            doomed.cancel()
+            doomed.cancel()  # idempotent
+            await asyncio.sleep(0.05)
+            return kernel, fired
+
+        kernel, fired = asyncio.run(scenario())
+        assert fired == ["a"]
+        assert kernel.events_scheduled == 2
+        assert kernel.events_executed == 1
+        assert kernel.events_cancelled == 1
+        assert set(kernel.op_counters()) >= {
+            "events_scheduled", "events_executed", "events_cancelled"}
+
+    def test_per_process_rng_streams_differ_but_reproduce(self):
+        async def draws(label):
+            from repro.runtime.aio import AioKernel
+            kernel = AioKernel(seed=3, loop=asyncio.get_running_loop(),
+                               label=label)
+            return [kernel.random.random() for __ in range(4)]
+
+        a1 = asyncio.run(draws("dc-oregon"))
+        a2 = asyncio.run(draws("dc-oregon"))
+        b = asyncio.run(draws("dc-tokyo"))
+        assert a1 == a2
+        assert a1 != b

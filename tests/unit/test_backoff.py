@@ -1,0 +1,98 @@
+"""Unit tests for :mod:`repro.core.backoff` — the retry-delay schedule.
+
+The asyncio transport's reconnect loop and the chaos-hardened
+retransmission timers both draw their delays from :class:`RetryPolicy`,
+so its determinism contract (same seed -> same schedule, independent of
+the process hash seed) is what keeps reconnect behaviour reproducible
+across backends and machines.
+"""
+
+import os
+import subprocess
+import sys
+from random import Random
+
+import pytest
+
+from repro.core.backoff import RetryPolicy
+
+_POLICY = RetryPolicy(base_ms=50.0, multiplier=2.0, max_ms=2000.0,
+                      jitter_fraction=0.2)
+
+
+def _schedule(policy, seed, attempts=12):
+    rng = Random(seed)
+    return [policy.delay_ms(i, rng) for i in range(attempts)]
+
+
+def test_same_seed_same_delays():
+    assert _schedule(_POLICY, "link:0") == _schedule(_POLICY, "link:0")
+
+
+def test_different_seeds_differ():
+    assert _schedule(_POLICY, "link:0") != _schedule(_POLICY, "link:1")
+
+
+def test_cap_honored_even_with_jitter():
+    # Jitter is applied after the cap, so the hard bound is
+    # max_ms * (1 + jitter_fraction); without jitter it is max_ms.
+    for delay in _schedule(_POLICY, 7, attempts=40):
+        assert delay <= _POLICY.max_ms * (1 + _POLICY.jitter_fraction)
+    plain = RetryPolicy(base_ms=50.0, multiplier=2.0, max_ms=2000.0)
+    assert _schedule(plain, 0, attempts=40)[-1] == 2000.0
+
+
+def test_growth_is_monotone_before_the_cap():
+    plain = RetryPolicy(base_ms=50.0, multiplier=2.0, max_ms=2000.0)
+    delays = _schedule(plain, 0, attempts=8)
+    assert delays == [50.0, 100.0, 200.0, 400.0, 800.0, 1600.0,
+                      2000.0, 2000.0]
+
+
+def test_degenerate_policy_never_touches_the_rng():
+    class Exploding:
+        def uniform(self, a, b):  # pragma: no cover - must not be hit
+            raise AssertionError("degenerate policy consulted the RNG")
+
+    policy = RetryPolicy(base_ms=100.0)
+    assert [policy.delay_ms(i, Exploding()) for i in range(5)] == [100.0] * 5
+
+
+def test_huge_attempt_numbers_do_not_overflow():
+    policy = RetryPolicy(base_ms=1.0, multiplier=2.0, max_ms=5000.0)
+    assert policy.delay_ms(10 ** 9, Random(0)) == 5000.0
+    assert policy.delay_ms(-5, Random(0)) == 1.0
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(base_ms=0.0),
+    dict(base_ms=10.0, multiplier=0.5),
+    dict(base_ms=10.0, max_ms=5.0),
+    dict(base_ms=10.0, jitter_fraction=1.0),
+])
+def test_invalid_policies_rejected(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+def test_schedule_independent_of_pythonhashseed():
+    """The delay sequence must be identical under different hash seeds —
+    the same guarantee the divergence harness checks for whole runs,
+    scoped down to the backoff primitive the TCP reconnect loop uses."""
+    script = (
+        "from random import Random\n"
+        "from repro.core.backoff import RetryPolicy\n"
+        "p = RetryPolicy(base_ms=50.0, multiplier=2.0, max_ms=2000.0,\n"
+        "                jitter_fraction=0.2)\n"
+        "rng = Random('link:dc-oregon:0')\n"
+        "print(repr([p.delay_ms(i, rng) for i in range(16)]))\n"
+    )
+    outputs = []
+    for hash_seed in ("0", "1", "4242"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run([sys.executable, "-c", script],
+                                capture_output=True, text=True, env=env,
+                                check=True)
+        outputs.append(result.stdout)
+    assert outputs[0] == outputs[1] == outputs[2]

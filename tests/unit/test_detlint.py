@@ -304,6 +304,39 @@ def test_wallclock_allowed_in_wal():
     assert codes(src, path="src/repro/wal/image.py") == []
 
 
+def test_wallclock_and_random_allowed_in_runtime():
+    # runtime/ is the asyncio/TCP backend: the wall clock is its
+    # kernel.now and its per-process RNGs are string-seeded from the
+    # run seed (`Random(f"{proc}:{seed}")`), so both sources are the
+    # design there — the DES-differential conformance harness is what
+    # polices the behaviour instead.
+    src = """
+    import random
+    import time
+
+    def clock_and_rng(self, proc, seed):
+        return time.monotonic(), random.Random(f"{proc}:{seed}")
+    """
+    for path in ("src/repro/runtime/aio.py",
+                 "src/repro/runtime/conformance.py"):
+        assert codes(src, path=path) == []
+
+
+def test_wallclock_and_random_still_flagged_outside_runtime():
+    # The runtime/ allowlist must not leak into protocol code: the same
+    # snippet one directory over is still a double determinism error.
+    src = """
+    import random
+    import time
+
+    def clock_and_rng(self, proc, seed):
+        return time.monotonic(), random.Random(f"{proc}:{seed}")
+    """
+    for path in ("src/repro/core/client.py", "src/repro/sim/network.py",
+                 "src/repro/tapir/replica.py"):
+        assert codes(src, path=path) == ["DL003", "DL004"]
+
+
 def test_wallclock_still_flagged_next_to_wal():
     # The allowlist covers wal/ itself, not its consumers.
     src = """

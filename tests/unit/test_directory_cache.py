@@ -104,6 +104,67 @@ class TestDirectoryCache:
             DirectoryCache(make_authority(), FakeClock(), ttl_ms=0)
 
 
+class TestTtlEdges:
+    """TTL boundary semantics: an entry is valid while
+    ``now - cached_at <= ttl_ms``, so *exactly* at the deadline is still
+    a hit and the first instant past it refreshes.  Pinned because both
+    runtime backends (virtual and wall clock) share this cache and an
+    off-by-one here would make lease expiry backend-dependent."""
+
+    def test_expiry_exactly_at_deadline_is_a_hit(self):
+        authority = make_authority()
+        clock = FakeClock()
+        cache = DirectoryCache(authority, clock, ttl_ms=100.0)
+        cache.lookup("p0")
+        authority.set_leader("p0", "n1")
+        clock.now = 100.0  # age == ttl_ms: inclusive bound, still cached
+        assert cache.lookup("p0").leader == "n0"
+        assert (cache.hits, cache.refreshes) == (1, 1)
+        clock.now = 100.0 + 1e-9  # first instant past the deadline
+        assert cache.lookup("p0").leader == "n1"
+        assert (cache.hits, cache.refreshes) == (1, 2)
+
+    def test_refresh_after_invalidate_restarts_the_ttl_window(self):
+        authority = make_authority()
+        clock = FakeClock()
+        cache = DirectoryCache(authority, clock, ttl_ms=100.0)
+        cache.lookup("p0")
+        clock.now = 90.0
+        cache.invalidate("p0")
+        authority.set_leader("p0", "n2")
+        # The post-invalidate refresh re-stamps cached_at=90, so the
+        # entry stays valid through 190 — not the original 100.
+        assert cache.lookup("p0").leader == "n2"
+        authority.set_leader("p0", "n1")
+        clock.now = 190.0
+        assert cache.lookup("p0").leader == "n2"
+        assert cache.hits == 1
+        clock.now = 190.0 + 1e-9
+        assert cache.lookup("p0").leader == "n1"
+
+    def test_ttl_under_virtual_time(self):
+        """The cache driven by a DES kernel's clock: expiry advances
+        with scheduled events, never with the wall clock."""
+        from repro.sim.kernel import Kernel
+
+        kernel = Kernel(seed=0)
+        authority = make_authority()
+        cache = DirectoryCache(authority, lambda: kernel.now,
+                               ttl_ms=100.0)
+        leaders = []
+
+        def probe():
+            leaders.append((kernel.now, cache.lookup("p0").leader))
+
+        probe()
+        authority.set_leader("p0", "n1")
+        kernel.schedule(100.0, probe)  # exactly at the deadline: hit
+        kernel.schedule(100.1, probe)  # past it: refresh
+        kernel.run()
+        assert leaders == [(0.0, "n0"), (100.0, "n0"), (100.1, "n1")]
+        assert (cache.hits, cache.refreshes) == (1, 2)
+
+
 class TestClientWithCache:
     def make_cluster(self):
         config = CarouselConfig(
